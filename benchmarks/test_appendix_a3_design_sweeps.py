@@ -1,0 +1,93 @@
+"""Appendix A.3 design-choice sweeps.
+
+Two claims the paper makes about hyper-parameters:
+
+* the sliding-step length of overlapping training batches can be anything
+  in [1, 15] with similar results (Δt = 5 is the default);
+* the stochastic-layer noise intensity [a_h, a_c] is chosen in [1, 3] for
+  the best histogram fit, with a_h = a_c = 2 good for most cases.
+
+These benches sweep both knobs at small scale and check the claimed
+insensitivity/ordering.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import GenDT, small_config
+from repro.eval import compare_methods, format_table
+
+from conftest import record_result
+
+KPIS = ["rsrp", "rsrq"]
+
+
+def _fit_and_eval(region, split, **config_overrides):
+    base = dict(
+        epochs=8, hidden_size=24, batch_len=25, train_step=5,
+        minibatch_windows=16, max_cells=6,
+    )
+    base.update(config_overrides)
+    config = small_config(**base)
+    model = GenDT(region, kpis=KPIS, config=config, seed=9)
+    model.fit(split.train)
+    results = compare_methods(
+        {"m": model.generate}, split.test, KPIS, n_generations=2
+    )["m"]
+    return model, {
+        "mae": results.average("rsrp", "mae"),
+        "dtw": results.average("rsrp", "dtw"),
+        "hwd": results.average("rsrp", "hwd"),
+    }
+
+
+def test_a3_step_length_sweep(benchmark, bench_dataset_a, bench_split_a):
+    steps = (1, 5, 15)
+    models = {}
+    outcomes = {}
+    for step in steps:
+        models[step], outcomes[step] = _fit_and_eval(
+            bench_dataset_a.region, bench_split_a, train_step=step
+        )
+    rows = [[f"Δt={s}", m["mae"], m["dtw"], m["hwd"]] for s, m in outcomes.items()]
+    record_result(
+        "appendix_a3_step_sweep",
+        format_table(
+            ["step", "rsrp:mae", "rsrp:dtw", "rsrp:hwd"], rows,
+            title="Appendix A.3: training-batch sliding-step sweep",
+        ),
+    )
+    # Paper claim: any step in [1, 15] gives similar results — the spread
+    # across the sweep stays within a factor of the best.
+    maes = [m["mae"] for m in outcomes.values()]
+    assert max(maes) <= min(maes) * 1.6
+
+    traj = bench_split_a.test[0].trajectory
+    benchmark(lambda: models[5].generate(traj))
+
+
+def test_a3_noise_intensity_sweep(benchmark, bench_dataset_a, bench_split_a):
+    intensities = (0.0, 1.0, 2.0, 3.0)
+    models = {}
+    outcomes = {}
+    for a in intensities:
+        models[a], outcomes[a] = _fit_and_eval(
+            bench_dataset_a.region, bench_split_a,
+            noise_intensity_h=a, noise_intensity_c=a,
+        )
+    rows = [[f"a={a}", m["mae"], m["dtw"], m["hwd"]] for a, m in outcomes.items()]
+    record_result(
+        "appendix_a3_noise_sweep",
+        format_table(
+            ["intensity", "rsrp:mae", "rsrp:dtw", "rsrp:hwd"], rows,
+            title="Appendix A.3: stochastic-layer noise-intensity sweep",
+        ),
+    )
+    # All intensities in the paper's [1, 3] range must stay usable (no
+    # blow-up relative to the noiseless variant).
+    baseline = outcomes[0.0]["mae"]
+    for a in (1.0, 2.0, 3.0):
+        assert outcomes[a]["mae"] <= baseline * 2.0
+
+    traj = bench_split_a.test[0].trajectory
+    benchmark(lambda: models[2.0].generate(traj))

@@ -1,0 +1,66 @@
+"""Paper Tables 1 & 2: dataset statistics per scenario.
+
+Regenerates the per-scenario statistics rows (granularity, velocity,
+serving-cell dwell, RSRP/RSRQ mean & std, ROC, sample counts) for the
+synthetic Datasets A and B.  The reproduction target is the *shape*:
+velocity ordering (walk < bus < tram; city < highway), dwell-time ordering
+(slower movement -> longer dwell), and RSRP/RSRQ in the measured bands
+(RSRP around -85 dBm, RSRQ around -13 dB).
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import dataset_stats
+from repro.eval import format_table
+
+from conftest import record_result
+
+
+def _stats_table(dataset, title):
+    rows_by_scenario = {s: dataset.by_scenario(s) for s in dataset.scenarios()}
+    stats = dataset_stats(rows_by_scenario)
+    headers = [
+        "scenario", "granularity_s", "velocity_mps", "cell_dwell_s",
+        "rsrp_mean", "rsrp_std", "rsrp_roc", "rsrq_mean", "rsrq_std",
+        "rsrq_roc", "samples",
+    ]
+    rows = [[getattr(s, attr) for attr in (
+        "scenario", "time_granularity_s", "avg_velocity_mps", "avg_cell_dwell_s",
+        "avg_rsrp_dbm", "std_rsrp_dbm", "roc_rsrp", "avg_rsrq_db",
+        "std_rsrq_db", "roc_rsrq", "n_samples",
+    )] for s in stats]
+    return stats, format_table(headers, rows, title=title)
+
+
+def test_table01_dataset_a_stats(benchmark, bench_dataset_a):
+    stats, table = _stats_table(bench_dataset_a, "Table 1: Dataset A statistics")
+    record_result("table01_dataset_a_stats", table)
+
+    by_name = {s.scenario: s for s in stats}
+    # Paper Table 1 shape checks.
+    assert by_name["walk"].avg_velocity_mps < by_name["bus"].avg_velocity_mps
+    assert by_name["bus"].avg_velocity_mps < by_name["tram"].avg_velocity_mps
+    assert by_name["walk"].avg_cell_dwell_s > by_name["tram"].avg_cell_dwell_s
+    for s in stats:
+        assert -100 < s.avg_rsrp_dbm < -70
+        assert -17 < s.avg_rsrq_db < -10
+
+    benchmark(lambda: dataset_stats({"walk": bench_dataset_a.by_scenario("walk")}))
+
+
+def test_table02_dataset_b_stats(benchmark, bench_dataset_b):
+    stats, table = _stats_table(bench_dataset_b, "Table 2: Dataset B statistics")
+    record_result("table02_dataset_b_stats", table)
+
+    by_name = {s.scenario: s for s in stats}
+    assert by_name["highway_1"].avg_velocity_mps > 2 * by_name["city_driving_1"].avg_velocity_mps
+    assert by_name["highway_2"].avg_velocity_mps > by_name["highway_1"].avg_velocity_mps
+    # Coarser granularity than Dataset A (paper: Android Telephony API).
+    for s in stats:
+        assert s.time_granularity_s > 1.5
+        assert s.roc_rsrp > 0
+
+    benchmark(
+        lambda: dataset_stats({"highway_1": bench_dataset_b.by_scenario("highway_1")})
+    )

@@ -1,0 +1,68 @@
+"""Paper Tables 3 & 4: fidelity on Dataset A.
+
+Table 3: generated-RSRP fidelity per scenario (walk/bus/tram) for GenDT and
+the five baselines on MAE/DTW/HWD.  Table 4: the all-KPI (RSRP, RSRQ, SINR,
+CQI) average across scenarios.
+
+Shape targets from the paper: GenDT generally best on MAE and DTW; FDaS
+competitive on HWD (it models the marginal distribution directly) but worst
+on DTW; original DG poor across the board (generated context); Real-Context
+DG the strongest baseline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import average_rows, fidelity_rows, format_table, ranking
+
+from conftest import KPIS_A, record_result
+
+
+def test_table03_dataset_a_rsrp(benchmark, bench_results_a, bench_methods_a, bench_split_a):
+    scenarios = ["walk", "bus", "tram"]
+    headers, rows = fidelity_rows(bench_results_a, "rsrp", scenarios)
+    table = format_table(
+        headers, rows, title="Table 3: RSRP fidelity per scenario, Dataset A"
+    )
+    record_result("table03_dataset_a_rsrp", table)
+
+    # GenDT leads on the temporal-shape metric (averaged over scenarios) and
+    # sits within a small margin of the best MAE.  (Deterministic
+    # MSE-trained regressors can edge out a *generative* model on pointwise
+    # MAE — they pay for it on DTW/HWD; see EXPERIMENTS.md.)
+    assert ranking(bench_results_a, "rsrp", "dtw")[0] == "GenDT"
+    best_mae = min(
+        bench_results_a[m].average("rsrp", "mae") for m in bench_results_a
+    )
+    assert bench_results_a["GenDT"].average("rsrp", "mae") <= best_mae * 1.25
+    assert bench_results_a["GenDT"].average("rsrp", "mae") < bench_results_a[
+        "FDaS"
+    ].average("rsrp", "mae")
+
+    traj = bench_split_a.test[0].trajectory
+    benchmark(lambda: bench_methods_a["GenDT"](traj))
+
+
+def test_table04_dataset_a_all_kpis(benchmark, bench_results_a, bench_methods_a, bench_split_a):
+    headers, rows = average_rows(bench_results_a, KPIS_A)
+    table = format_table(
+        headers, rows,
+        title="Table 4: average fidelity across scenarios, Dataset A (all KPIs)",
+    )
+    record_result("table04_dataset_a_all_kpis", table)
+
+    # GenDT within a small MAE margin of the best method for the continuous
+    # KPIs; CQI gains are marginal in the paper too (discrete channel).
+    for kpi in ("rsrp", "rsrq", "sinr"):
+        best = min(bench_results_a[m].average(kpi, "mae") for m in bench_results_a)
+        assert bench_results_a["GenDT"].average(kpi, "mae") <= best * 1.25, kpi
+    assert ranking(bench_results_a, "rsrp", "dtw")[0] == "GenDT"
+    # Original DG must not beat GenDT on the temporal metric (it generates
+    # its own context, decoupled from the test trajectory).  On pointwise
+    # MAE a mode-collapsed DG degenerates to a near-constant predictor and
+    # can land close to GenDT — DTW exposes that it is not tracking.
+    r = ranking(bench_results_a, "rsrp", "dtw")
+    assert r.index("GenDT") < r.index("Orig. DG")
+
+    traj = bench_split_a.test[0].trajectory
+    benchmark(lambda: bench_methods_a["FDaS"](traj))

@@ -1,0 +1,130 @@
+"""Paper Table 7, Table 8, Figures 9 & 10: the long & complex trajectory.
+
+A held-out multi-city trajectory mixing inner-city and highway driving.
+
+* Table 7: all methods' fidelity over the long trajectory.
+* Fig. 9: GenDT's min/max generation envelope covers the ground truth and
+  the pooled histogram matches.
+* Table 8 / Fig. 10: generating the trajectory by stitching independent
+  short (50 s / 100 s) generations degrades fidelity (distribution seams),
+  demonstrating the need for long-series generation with carried state.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    GenerationEnvelope,
+    ascii_plot,
+    compare_methods,
+    format_table,
+    ranking,
+    stitched_generation,
+)
+from repro.metrics import evaluate_series, hwd
+
+from conftest import KPIS_B, record_result
+
+
+@pytest.fixture(scope="module")
+def long_results(bench_methods_b, bench_long_record):
+    return compare_methods(
+        bench_methods_b, [bench_long_record], KPIS_B, n_generations=2
+    )
+
+
+def test_table07_long_trajectory(benchmark, long_results, bench_methods_b, bench_long_record):
+    headers = ["method", "rsrp:mae", "rsrp:dtw", "rsrp:hwd", "rsrq:mae", "rsrq:dtw", "rsrq:hwd"]
+    rows = []
+    for name, result in long_results.items():
+        rows.append(
+            [name]
+            + [result.average("rsrp", m) for m in ("mae", "dtw", "hwd")]
+            + [result.average("rsrq", m) for m in ("mae", "dtw", "hwd")]
+        )
+    table = format_table(
+        headers, rows, title="Table 7: long & complex trajectory, Dataset B"
+    )
+    record_result("table07_long_trajectory", table)
+
+    # Paper: GenDT best on the long trajectory with only Real-Context DG
+    # close.  One divergence from the paper (documented in EXPERIMENTS.md):
+    # our synthetic cities share land-use statistics, so the long route's
+    # marginal matches the training marginal and FDaS does NOT collapse on
+    # HWD here; GenDT must still beat the other generative baselines on it.
+    assert ranking(long_results, "rsrp", "dtw")[0] == "GenDT"
+    gendt_mae = long_results["GenDT"].average("rsrp", "mae")
+    assert gendt_mae < long_results["FDaS"].average("rsrp", "mae")
+    gendt_dtw = long_results["GenDT"].average("rsrp", "dtw")
+    assert gendt_dtw < long_results["Orig. DG"].average("rsrp", "dtw")
+    gendt_hwd = long_results["GenDT"].average("rsrp", "hwd")
+    assert gendt_hwd < long_results["Orig. DG"].average("rsrp", "hwd")
+    assert gendt_hwd < long_results["LSTM-GNN"].average("rsrp", "hwd")
+
+    traj = bench_long_record.trajectory
+    benchmark(lambda: bench_methods_b["GenDT"](traj))
+
+
+def test_fig09_envelope(benchmark, bench_gendt_b, bench_long_record):
+    traj = bench_long_record.trajectory
+    real = bench_long_record.kpi["rsrp"]
+    samples = bench_gendt_b.generate_samples(traj, 8)[:, :, 0]
+    envelope = GenerationEnvelope(real=real, samples=samples)
+
+    lines = [
+        "Figure 9a: generated RSRP envelope vs ground truth (long trajectory)",
+        ascii_plot(
+            {"real": real, "lower": envelope.lower, "upper": envelope.upper},
+            width=72, height=12,
+        ),
+        "",
+        f"envelope coverage of ground truth: {envelope.coverage():.2%}",
+        f"Figure 9b histogram match (HWD, pooled samples vs real): "
+        f"{envelope.histogram_hwd():.2f} dB",
+    ]
+    record_result("fig09_envelope", "\n".join(lines))
+
+    assert envelope.coverage() > 0.45
+    assert envelope.histogram_hwd() < 6.0
+
+    benchmark(lambda: bench_gendt_b.generate(traj))
+
+
+def test_table08_fig10_stitching(benchmark, bench_gendt_b, bench_long_record):
+    traj = bench_long_record.trajectory
+    real = bench_long_record.kpi["rsrp"]
+
+    def run_variant(segment_s):
+        if segment_s is None:
+            gen = bench_gendt_b.generate(traj)
+        else:
+            gen = stitched_generation(bench_gendt_b.generate, traj, segment_s)
+        return gen[:, 0], evaluate_series(real, gen[:, 0])
+
+    gendt_series, gendt_metrics = run_variant(None)
+    s50_series, s50_metrics = run_variant(50.0)
+    s100_series, s100_metrics = run_variant(100.0)
+
+    rows = [
+        ["GenDT (long)", gendt_metrics["mae"], gendt_metrics["dtw"], gendt_metrics["hwd"]],
+        ["50s stitched", s50_metrics["mae"], s50_metrics["dtw"], s50_metrics["hwd"]],
+        ["100s stitched", s100_metrics["mae"], s100_metrics["dtw"], s100_metrics["hwd"]],
+    ]
+    table = format_table(
+        ["method", "mae", "dtw", "hwd"],
+        rows,
+        title="Table 8: long-trajectory generation vs short-segment stitching",
+    )
+    tail = slice(-160, None)
+    figure = ascii_plot(
+        {"real": real[tail], "GenDT": gendt_series[tail], "50s": s50_series[tail]},
+        width=72, height=12,
+        title="Figure 10: last part of the long trajectory (stitching artifacts)",
+    )
+    record_result("table08_fig10_stitching", table + "\n\n" + figure)
+
+    # Paper shape: stitching is worse, most visibly on the distribution.
+    assert gendt_metrics["hwd"] <= s50_metrics["hwd"] * 1.2
+    assert gendt_metrics["mae"] <= s50_metrics["mae"] * 1.2
+
+    benchmark(lambda: stitched_generation(bench_gendt_b.generate, traj, 100.0))

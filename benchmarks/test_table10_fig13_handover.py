@@ -1,0 +1,73 @@
+"""Paper Table 10 & Figure 13: the handover-analysis downstream use case.
+
+GenDT is retrained with the serving-cell id as an extra generated channel
+(§6.3.2, "GenDT model itself remains unchanged").  The inter-handover time
+distribution of the generated serving-cell series is compared to the real
+one via HWD and as a CDF.  Baselines generate the same channel; the paper's
+shape target is that GenDT's distribution is the closest to real.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FDaS, MLPBaseline
+from repro.core import GenDT, small_config
+from repro.eval import ascii_plot, cdf_points, format_table
+from repro.usecases import compare_handover_distributions
+
+from conftest import record_result
+
+HO_KPIS = ["rsrp", "serving_cell"]
+
+
+@pytest.fixture(scope="module")
+def handover_models(bench_dataset_b, bench_split_b):
+    region = bench_dataset_b.region
+    config = small_config(
+        epochs=12, hidden_size=28, batch_len=25, train_step=5,
+        minibatch_windows=16, max_cells=6,
+    )
+    gendt = GenDT(region, kpis=HO_KPIS, config=config, seed=6)
+    gendt.fit(bench_split_b.train)
+
+    fdas = FDaS(kpis=HO_KPIS, seed=0)
+    fdas.fit(bench_split_b.train)
+    mlp = MLPBaseline(region, kpis=HO_KPIS, epochs=20, seed=0)
+    mlp.fit(bench_split_b.train)
+    return {"GenDT": gendt.generate, "FDaS": fdas.generate, "MLP": mlp.generate}
+
+
+def test_table10_fig13_handover(benchmark, handover_models, bench_split_b):
+    test = bench_split_b.test
+    rows = []
+    comparisons = {}
+    for name, generate in handover_models.items():
+        generated_serving = [generate(r.trajectory)[:, 1] for r in test]
+        comparison = compare_handover_distributions(test, generated_serving)
+        comparisons[name] = comparison
+        rows.append([name, comparison.hwd])
+    table = format_table(
+        ["method", "inter-handover HWD"],
+        rows,
+        title="Table 10: inter-handover time distribution vs real (HWD)",
+    )
+
+    real_xs, real_cdf = comparisons["GenDT"].cdf("real")
+    gen_xs, gen_cdf = comparisons["GenDT"].cdf("generated")
+    grid = np.linspace(0, max(real_xs.max(), gen_xs.max() if len(gen_xs) else 1), 50)
+    _, real_on_grid = comparisons["GenDT"].cdf("real", grid)
+    _, gen_on_grid = comparisons["GenDT"].cdf("generated", grid)
+    figure = ascii_plot(
+        {"real": real_on_grid, "GenDT": gen_on_grid},
+        width=64, height=10,
+        title="Figure 13: CDF of inter-handover times (real vs GenDT)",
+    )
+    record_result("table10_fig13_handover", table + "\n\n" + figure)
+
+    hwds = {name: c.hwd for name, c in comparisons.items()}
+    # GenDT's distribution closest to real (paper Table 10).
+    assert hwds["GenDT"] == min(hwds.values())
+    assert np.isfinite(hwds["GenDT"])
+
+    traj = test[0].trajectory
+    benchmark(lambda: handover_models["GenDT"](traj))

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Coverage mapping: MDT/crowdsourcing sparsity vs GenDT-generated routes.
+
+The paper motivates GenDT against user-device measurement collection: MDT
+reports cluster where consenting users happen to be (spatial skew), and
+crowdsourced apps sample coarsely.  With a generative model, the operator
+chooses the routes — coverage follows measurement *need*.
+
+This example builds RSRP coverage maps from (a) a skewed MDT campaign,
+(b) a coarse crowdsourced campaign, and (c) GenDT pseudo-measurements over
+systematic routes, and compares fill fraction and agreement with a dense
+ground-truth map from the simulator.
+
+Run:  python examples/coverage_mapping.py
+"""
+
+import numpy as np
+
+from repro.core import GenDT, small_config
+from repro.datasets import (
+    build_coverage_map,
+    crowdsourced_campaign,
+    gendt_coverage_measurements,
+    make_dataset_a,
+    mdt_campaign,
+    split_per_scenario,
+    SparseMeasurements,
+)
+from repro.eval import format_table
+
+
+def dense_ground_truth(dataset, rng, n_routes=14):
+    """A dense reference map from many simulated drives (expensive in life)."""
+    samples = None
+    for k in range(n_routes):
+        route = dataset.region.roads.random_walk_route(
+            rng, 1500.0, city=dataset.region.cities[0].name
+        )
+        trajectory = dataset.region.roads.route_to_trajectory(
+            route, 8.0, 2.0, scenario="truth", rng=rng
+        )
+        if len(trajectory) < 3:
+            continue
+        record = dataset.simulator.simulate(trajectory, rng)
+        piece = SparseMeasurements(trajectory.lat, trajectory.lon, record.kpi["rsrp"])
+        samples = piece if samples is None else samples.concat(piece)
+    return samples
+
+
+def main() -> None:
+    print("Building the region and training a small GenDT...")
+    dataset = make_dataset_a(seed=7, samples_per_scenario=700)
+    split = split_per_scenario(dataset, 0.3, 200.0, np.random.default_rng(0))
+    config = small_config(epochs=10, hidden_size=24, batch_len=25, train_step=5,
+                          minibatch_windows=16)
+    model = GenDT(dataset.region, kpis=["rsrp", "rsrq"], config=config, seed=1)
+    model.fit(split.train)
+
+    rng = np.random.default_rng(42)
+    region = dataset.region
+    print("Collecting the four measurement sources...")
+    truth = dense_ground_truth(dataset, rng)
+    mdt = mdt_campaign(region, rng, n_users=15, participation=0.4, hotspot_bias=0.9)
+    crowd = crowdsourced_campaign(region, rng, n_users=25)
+    gendt = gendt_coverage_measurements(model, region, rng, n_routes=10)
+
+    maps = {
+        "ground truth (dense)": build_coverage_map(region, truth, 300.0, 1500.0),
+        "MDT (skewed users)": build_coverage_map(region, mdt, 300.0, 1500.0),
+        "crowdsourced (coarse)": build_coverage_map(region, crowd, 300.0, 1500.0),
+        "GenDT (chosen routes)": build_coverage_map(region, gendt, 300.0, 1500.0),
+    }
+    truth_map = maps["ground truth (dense)"]
+    rows = []
+    for name, cmap in maps.items():
+        rows.append([
+            name,
+            len({"ground truth (dense)": truth, "MDT (skewed users)": mdt,
+                 "crowdsourced (coarse)": crowd, "GenDT (chosen routes)": gendt}[name]),
+            f"{cmap.fill_fraction:.0%}",
+            cmap.error_vs(truth_map) if name != "ground truth (dense)" else 0.0,
+        ])
+    print(format_table(
+        ["source", "samples", "map fill", "err vs truth (dB)"],
+        rows,
+        title="RSRP coverage maps from different measurement sources",
+    ))
+    print(
+        "\nReading the table: the MDT map leaves pixels empty where no users "
+        "went; GenDT fills the map from operator-chosen routes at comparable "
+        "error, without any field measurement on those routes."
+    )
+
+
+if __name__ == "__main__":
+    main()

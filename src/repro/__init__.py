@@ -1,0 +1,40 @@
+"""GenDT reproduction: generative modeling of drive-test radio KPI series.
+
+Reproduces *GenDT: Mobile Network Drive Testing Made Efficient with
+Generative Modeling* (Sun, Xu, Marina, Benn — CoNEXT '22) as a
+self-contained Python library, including every substrate the paper depends
+on: a numpy neural-network engine, an LTE radio/propagation simulator, a
+procedural environment-context world, the GenDT conditional generative model,
+all evaluation baselines, fidelity metrics, and the downstream use cases.
+
+Quickstart::
+
+    from repro.datasets import make_dataset_a, split_per_scenario
+    from repro.core import GenDT, small_config
+    import numpy as np
+
+    dataset = make_dataset_a(samples_per_scenario=1500)
+    split = split_per_scenario(dataset, 0.3, 300.0, np.random.default_rng(0))
+    model = GenDT(dataset.region, kpis=["rsrp", "rsrq"], config=small_config())
+    model.fit(split.train)
+    series = model.generate(split.test[0].trajectory)   # [T, 2], dBm / dB
+"""
+
+__version__ = "1.0.0"
+
+from . import nn, geo, world, radio, context, datasets, core, baselines, metrics, usecases, eval
+
+__all__ = [
+    "nn",
+    "geo",
+    "world",
+    "radio",
+    "context",
+    "datasets",
+    "core",
+    "baselines",
+    "metrics",
+    "usecases",
+    "eval",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Baseline generation methods compared against GenDT (paper §5.2)."""
+
+from .base import BaselineModel, ContextEncodingMixin
+from .fdas import FDaS, FittedDistribution, fit_best_distribution
+from .mlp import MLPBaseline
+from .lstm_gnn import LSTMGNNBaseline
+from .doppelganger import DoppelGANger, GaussianMetadataModel
+
+__all__ = [
+    "BaselineModel",
+    "ContextEncodingMixin",
+    "FDaS",
+    "FittedDistribution",
+    "fit_best_distribution",
+    "MLPBaseline",
+    "LSTMGNNBaseline",
+    "DoppelGANger",
+    "GaussianMetadataModel",
+]

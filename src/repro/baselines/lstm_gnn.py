@@ -1,0 +1,125 @@
+"""LSTM-GNN prediction baseline (paper §5.2, after Tong et al.).
+
+A state-of-the-art GNN time-series *prediction* architecture: the same
+node-LSTM + mean-aggregation + LSTM stack as GenDT's first two components,
+but purely deterministic and trained as a regressor on whole trajectories —
+no stochastic layers, no residual generator, no adversarial training, and no
+batch-generation mechanism (the paper attributes its weak MAE/DTW to the
+last point: prediction models struggle to *generate* long series).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..nn.tensor import Tensor
+from ..context.normalize import N_CELL_FEATURES
+from ..geo.trajectory import Trajectory
+from ..radio.simulator import DriveTestRecord
+from ..world.region import Region
+from .base import BaselineModel, ContextEncodingMixin
+
+
+class _LstmGnnNet(nn.Module):
+    """Node LSTM (shared across cells) -> mean pool -> LSTM -> linear head."""
+
+    def __init__(self, n_features: int, hidden: int, n_channels: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.node_lstm = nn.LSTM(n_features, hidden, rng)
+        self.agg_lstm = nn.LSTM(hidden, hidden, rng)
+        self.head = nn.Linear(hidden, n_channels, rng)
+
+    def forward(self, cell_x: np.ndarray, cell_mask: np.ndarray) -> Tensor:
+        """cell_x [B, N, L, F], mask [B, N] -> predictions [B, L, C]."""
+        b, n_cells, length, n_feat = cell_x.shape
+        flat = Tensor(cell_x.reshape(b * n_cells, length, n_feat))
+        hidden, _ = self.node_lstm(flat)
+        h = hidden.reshape(b, n_cells, length, hidden.shape[-1])
+        mask = cell_mask[:, :, None, None]
+        counts = np.maximum(cell_mask.sum(axis=1), 1.0)[:, None, None]
+        h_avg = (h * Tensor(mask)).sum(axis=1) * Tensor(1.0 / counts)
+        out, _ = self.agg_lstm(h_avg)
+        return self.head(out)
+
+
+class LSTMGNNBaseline(ContextEncodingMixin, BaselineModel):
+    """Deterministic GNN-LSTM regressor over whole trajectories."""
+
+    name = "lstm_gnn"
+
+    def __init__(
+        self,
+        region: Region,
+        kpis: Sequence = ("rsrp", "rsrq"),
+        hidden: int = 32,
+        max_cells: int = 8,
+        seed: int = 0,
+        lr: float = 1e-3,
+        epochs: int = 15,
+        max_train_len: int = 400,
+    ) -> None:
+        self._init_context(region, kpis, max_cells, seed)
+        self.hidden = hidden
+        self.lr = lr
+        self.epochs = epochs
+        self.max_train_len = max_train_len
+        self.net: Optional[_LstmGnnNet] = None
+
+    # ------------------------------------------------------------------
+    def _window_arrays(self, trajectory: Trajectory, length: int):
+        """Whole-series (or capped-length) context arrays for one trajectory."""
+        windows = self.context.windows_for_trajectory(
+            trajectory, length=length, step=length
+        )
+        arrays = []
+        for window in windows:
+            cells = self.cell_transform(window, window.ue_lat, window.ue_lon)
+            n_real = min(window.n_cells, self.max_cells)
+            padded = np.zeros((self.max_cells, window.length, N_CELL_FEATURES))
+            padded[:n_real] = cells[:, : self.max_cells].transpose(1, 0, 2)
+            mask = np.zeros(self.max_cells)
+            mask[:n_real] = 1.0
+            arrays.append((padded, mask, window.start, window.length))
+        return arrays
+
+    def fit(self, records: Sequence[DriveTestRecord], epochs: Optional[int] = None, **kwargs) -> None:
+        self._fit_normalizers(records)
+        self.net = _LstmGnnNet(
+            N_CELL_FEATURES, self.hidden, self.kpi_spec.n_channels, self.rng
+        )
+        optimizer = nn.Adam(self.net.parameters(), lr=self.lr)
+        # Training items: whole trajectories, capped to keep BPTT tractable.
+        items = []
+        for record in records:
+            length = min(len(record.trajectory), self.max_train_len)
+            target = self.target_normalizer.normalize(
+                record.kpi_matrix(self.kpi_names)
+            )
+            for padded, mask, start, win_len in self._window_arrays(
+                record.trajectory, length
+            ):
+                items.append((padded, mask, target[start : start + win_len]))
+        for _ in range(epochs or self.epochs):
+            order = self.rng.permutation(len(items))
+            for idx in order:
+                padded, mask, target = items[idx]
+                pred = self.net(padded[None], mask[None])
+                loss = nn.mse_loss(pred, Tensor(target[None]))
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+
+    def generate(self, trajectory: Trajectory) -> np.ndarray:
+        if self.net is None:
+            raise RuntimeError("fit before generate")
+        out = np.empty((len(trajectory), self.kpi_spec.n_channels))
+        with nn.no_grad():
+            for padded, mask, start, win_len in self._window_arrays(
+                trajectory, len(trajectory)
+            ):
+                pred = self.net(padded[None], mask[None]).numpy()[0]
+                out[start : start + win_len] = pred
+        return self.clip(self.target_normalizer.denormalize(out))

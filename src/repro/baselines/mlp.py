@@ -1,0 +1,76 @@
+"""MLP regression baseline (paper §5.2).
+
+Per-timestep regression from the flat context encoding to the KPI vector.
+No temporal modeling, no stochasticity — the paper's simple-minded
+context-only baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..geo.trajectory import Trajectory
+from ..radio.simulator import DriveTestRecord
+from ..world.region import Region
+from .base import BaselineModel, ContextEncodingMixin
+
+
+class MLPBaseline(ContextEncodingMixin, BaselineModel):
+    """Pointwise context -> KPI regression with a 3-layer MLP."""
+
+    name = "mlp"
+
+    def __init__(
+        self,
+        region: Region,
+        kpis: Sequence = ("rsrp", "rsrq"),
+        hidden: Sequence[int] = (64, 64),
+        max_cells: int = 8,
+        seed: int = 0,
+        lr: float = 1e-3,
+        epochs: int = 40,
+        minibatch: int = 256,
+    ) -> None:
+        self._init_context(region, kpis, max_cells, seed)
+        self.hidden = tuple(hidden)
+        self.lr = lr
+        self.epochs = epochs
+        self.minibatch = minibatch
+        self.net: Optional[nn.MLP] = None
+
+    def fit(self, records: Sequence[DriveTestRecord], epochs: Optional[int] = None, **kwargs) -> None:
+        self._fit_normalizers(records)
+        features = []
+        targets = []
+        for record in records:
+            features.append(self.trajectory_features(record.trajectory))
+            targets.append(
+                self.target_normalizer.normalize(record.kpi_matrix(self.kpi_names))
+            )
+        x = np.concatenate(features)
+        y = np.concatenate(targets)
+        self.net = nn.MLP(
+            x.shape[1], list(self.hidden), y.shape[1], self.rng
+        )
+        optimizer = nn.Adam(self.net.parameters(), lr=self.lr)
+        n = len(x)
+        for _ in range(epochs or self.epochs):
+            order = self.rng.permutation(n)
+            for start in range(0, n, self.minibatch):
+                idx = order[start : start + self.minibatch]
+                pred = self.net(nn.Tensor(x[idx]))
+                loss = nn.mse_loss(pred, nn.Tensor(y[idx]))
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+
+    def generate(self, trajectory: Trajectory) -> np.ndarray:
+        if self.net is None:
+            raise RuntimeError("fit before generate")
+        x = self.trajectory_features(trajectory)
+        with nn.no_grad():
+            pred = self.net(nn.Tensor(x)).numpy()
+        return self.clip(self.target_normalizer.denormalize(pred))

@@ -1,0 +1,173 @@
+"""Command-line interface: the operator's "desktop tool" (paper Figure 14).
+
+Subcommands:
+
+* ``simulate`` — synthesize a drive-test dataset and print its Table-1/2
+  style statistics;
+* ``train`` — fit a GenDT model on a dataset and save the checkpoint;
+* ``generate`` — load a checkpoint and generate KPI series for a fresh
+  route in the dataset's region (written as CSV);
+* ``evaluate`` — fidelity of a checkpoint against a held-out split.
+
+All commands are deterministic under ``--seed``.  Run
+``python -m repro <command> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=7, help="master seed")
+    parser.add_argument(
+        "--dataset", choices=("a", "b"), default="a", help="which synthetic dataset"
+    )
+    parser.add_argument(
+        "--samples", type=int, default=900, help="samples per scenario"
+    )
+
+
+def _make_dataset(args):
+    from .datasets import make_dataset_a, make_dataset_b
+
+    if args.dataset == "a":
+        return make_dataset_a(seed=args.seed, samples_per_scenario=args.samples)
+    return make_dataset_b(seed=args.seed, samples_per_scenario=args.samples)
+
+
+def _split(dataset, seed: int):
+    from .datasets import split_per_scenario
+
+    return split_per_scenario(dataset, 0.3, 200.0, np.random.default_rng(seed))
+
+
+def cmd_simulate(args) -> int:
+    from .datasets import dataset_stats
+    from .eval import format_table
+
+    dataset = _make_dataset(args)
+    stats = dataset_stats(
+        {s: dataset.by_scenario(s) for s in dataset.scenarios()}
+    )
+    rows = [list(s.as_dict().values()) for s in stats]
+    headers = list(stats[0].as_dict().keys())
+    print(format_table(headers, rows, title=f"dataset {args.dataset.upper()} statistics"))
+    return 0
+
+
+def cmd_train(args) -> int:
+    from .core import GenDT, small_config
+
+    dataset = _make_dataset(args)
+    split = _split(dataset, args.seed)
+    kpis = args.kpis.split(",")
+    config = small_config(
+        epochs=args.epochs, hidden_size=args.hidden, batch_len=25, train_step=5,
+        minibatch_windows=16,
+    )
+    model = GenDT(dataset.region, kpis=kpis, config=config, seed=args.seed)
+    print(f"training GenDT on {len(split.train)} records ({args.epochs} epochs)...")
+    history = model.fit(split.train, verbose=True)
+    model.save(args.out)
+    print(f"saved checkpoint to {args.out} (final mse={history.mse[-1]:.3f})")
+    return 0
+
+
+def cmd_generate(args) -> int:
+    from .core import GenDT, small_config
+
+    dataset = _make_dataset(args)
+    kpis = args.kpis.split(",")
+    config = small_config(
+        epochs=1, hidden_size=args.hidden, batch_len=25, train_step=5
+    )
+    model = GenDT(dataset.region, kpis=kpis, config=config, seed=args.seed)
+    model.load(args.checkpoint)
+
+    rng = np.random.default_rng(args.seed + 1)
+    route = dataset.region.roads.random_walk_route(
+        rng, args.route_length_m, city=dataset.region.cities[0].name
+    )
+    trajectory = dataset.region.roads.route_to_trajectory(
+        route, args.speed, args.interval, scenario="cli", rng=rng
+    )
+    series = model.generate(trajectory)
+
+    out = Path(args.out)
+    header = "t_s,lat,lon," + ",".join(kpis)
+    rows = np.column_stack([trajectory.t, trajectory.lat, trajectory.lon, series])
+    np.savetxt(out, rows, delimiter=",", header=header, comments="")
+    print(f"generated {len(trajectory)} samples -> {out}")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    from .core import GenDT, small_config
+    from .eval import compare_methods, format_table, average_rows
+
+    dataset = _make_dataset(args)
+    split = _split(dataset, args.seed)
+    kpis = args.kpis.split(",")
+    config = small_config(epochs=1, hidden_size=args.hidden, batch_len=25, train_step=5)
+    model = GenDT(dataset.region, kpis=kpis, config=config, seed=args.seed)
+    model.load(args.checkpoint)
+    results = compare_methods({"gendt": model.generate}, split.test, kpis)
+    headers, rows = average_rows(results, kpis)
+    print(format_table(headers, rows, title="fidelity on the held-out split"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GenDT reproduction CLI: simulate, train, generate, evaluate",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("simulate", help="synthesize a dataset, print stats")
+    _add_common(p_sim)
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_train = sub.add_parser("train", help="fit GenDT and save a checkpoint")
+    _add_common(p_train)
+    p_train.add_argument("--kpis", default="rsrp,rsrq")
+    p_train.add_argument("--epochs", type=int, default=12)
+    p_train.add_argument("--hidden", type=int, default=28)
+    p_train.add_argument("--out", default="gendt.npz")
+    p_train.set_defaults(func=cmd_train)
+
+    p_gen = sub.add_parser("generate", help="generate KPIs for a fresh route")
+    _add_common(p_gen)
+    p_gen.add_argument("--kpis", default="rsrp,rsrq")
+    p_gen.add_argument("--hidden", type=int, default=28)
+    p_gen.add_argument("--checkpoint", required=True)
+    p_gen.add_argument("--route-length-m", type=float, default=2000.0)
+    p_gen.add_argument("--speed", type=float, default=8.0)
+    p_gen.add_argument("--interval", type=float, default=1.0)
+    p_gen.add_argument("--out", default="generated.csv")
+    p_gen.set_defaults(func=cmd_generate)
+
+    p_eval = sub.add_parser("evaluate", help="fidelity of a checkpoint")
+    _add_common(p_eval)
+    p_eval.add_argument("--kpis", default="rsrp,rsrq")
+    p_eval.add_argument("--hidden", type=int, default=28)
+    p_eval.add_argument("--checkpoint", required=True)
+    p_eval.set_defaults(func=cmd_evaluate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""GenDT core: the paper's conditional deep generative model."""
+
+from .config import GenDTConfig, small_config
+from .stochastic_lstm import StochasticLSTM
+from .networks import AggregationNetwork, Discriminator, GnnNodeNetwork, ResGen
+from .features import ModelBatch, WindowAssembler, recent_values_matrix
+from .generator import GenDTGenerator
+from .training import GenDTTrainer, TrainingHistory, make_minibatches
+from .model import GenDT
+from .uncertainty import UncertaintyEstimate, mc_dropout_uncertainty, subset_uncertainties
+from .active import ActiveLearningResult, ActiveLearningStep, run_active_learning
+from .workflow import (
+    RetrainingResult,
+    RetrainingStep,
+    retrain_in_new_region,
+    transfer_model,
+)
+
+__all__ = [
+    "GenDTConfig",
+    "small_config",
+    "StochasticLSTM",
+    "GnnNodeNetwork",
+    "AggregationNetwork",
+    "ResGen",
+    "Discriminator",
+    "ModelBatch",
+    "WindowAssembler",
+    "recent_values_matrix",
+    "GenDTGenerator",
+    "GenDTTrainer",
+    "TrainingHistory",
+    "make_minibatches",
+    "GenDT",
+    "UncertaintyEstimate",
+    "mc_dropout_uncertainty",
+    "subset_uncertainties",
+    "ActiveLearningResult",
+    "ActiveLearningStep",
+    "run_active_learning",
+    "transfer_model",
+    "retrain_in_new_region",
+    "RetrainingResult",
+    "RetrainingStep",
+]

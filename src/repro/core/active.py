@@ -1,0 +1,119 @@
+"""Uncertainty-driven measurement data selection (paper §6.2.2).
+
+Mimics the real-world active drive-testing loop: start from one small
+measurement subset, then repeatedly (a) score every remaining candidate
+subset by the model-uncertainty probe, (b) add the most uncertain one to the
+training pool, (c) retrain, (d) evaluate on the held-out long trajectory.
+Random selection with the same starting subset is the comparison baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..radio.simulator import DriveTestRecord
+from .model import GenDT
+from .uncertainty import subset_uncertainties
+
+
+@dataclass
+class ActiveLearningStep:
+    """One round of the selection loop."""
+
+    step: int
+    chosen_subset: int
+    fraction_used: float
+    metrics: Dict[str, float]
+
+
+@dataclass
+class ActiveLearningResult:
+    """Full trace of a selection run."""
+
+    strategy: str
+    steps: List[ActiveLearningStep] = field(default_factory=list)
+
+    def fractions(self) -> List[float]:
+        return [s.fraction_used for s in self.steps]
+
+    def metric_series(self, name: str) -> List[float]:
+        return [s.metrics[name] for s in self.steps]
+
+
+def run_active_learning(
+    model_factory: Callable[[], GenDT],
+    subsets: Sequence[Sequence[DriveTestRecord]],
+    evaluate: Callable[[GenDT], Dict[str, float]],
+    n_steps: int,
+    strategy: str = "uncertainty",
+    initial_subset: int = 0,
+    rng: Optional[np.random.Generator] = None,
+    epochs_per_step: int = 4,
+    mc_passes: int = 4,
+) -> ActiveLearningResult:
+    """Run the §6.2.2 loop with uncertainty-guided or random selection.
+
+    Args:
+        model_factory: builds a fresh (unfitted) GenDT; called once.
+        subsets: the candidate measurement subsets (23 in the paper).
+        evaluate: computes test metrics (e.g. DTW/HWD on the long trajectory).
+        n_steps: how many subsets to add beyond the initial one.
+        strategy: "uncertainty" or "random".
+        initial_subset: index of the shared starting subset (both strategies
+            start identically, as in the paper).
+        rng: required for the random strategy.
+        epochs_per_step: retraining epochs after each addition.
+        mc_passes: MC-dropout passes for the uncertainty probe.
+
+    Returns:
+        the metric trace; ``fraction_used`` is the measurement-efficiency
+        axis of paper Fig. 11 (subsets used / total subsets).
+    """
+    if strategy not in ("uncertainty", "random"):
+        raise ValueError(f"unknown strategy: {strategy}")
+    if strategy == "random" and rng is None:
+        raise ValueError("random strategy requires rng")
+    subsets = list(subsets)
+    n_total = len(subsets)
+    selected = [initial_subset]
+    remaining = [i for i in range(n_total) if i != initial_subset]
+
+    model = model_factory()
+    model.fit([r for i in selected for r in subsets[i]], epochs=epochs_per_step)
+
+    result = ActiveLearningResult(strategy=strategy)
+    result.steps.append(
+        ActiveLearningStep(
+            step=0,
+            chosen_subset=initial_subset,
+            fraction_used=len(selected) / n_total,
+            metrics=evaluate(model),
+        )
+    )
+    for step in range(1, n_steps + 1):
+        if not remaining:
+            break
+        if strategy == "uncertainty":
+            scores = subset_uncertainties(
+                model, [subsets[i] for i in remaining], n_passes=mc_passes
+            )
+            pick_pos = int(np.argmax(scores))
+        else:
+            pick_pos = int(rng.integers(len(remaining)))
+        chosen = remaining.pop(pick_pos)
+        selected.append(chosen)
+        model.continue_fit(
+            [r for i in selected for r in subsets[i]], epochs=epochs_per_step
+        )
+        result.steps.append(
+            ActiveLearningStep(
+                step=step,
+                chosen_subset=chosen,
+                fraction_used=len(selected) / n_total,
+                metrics=evaluate(model),
+            )
+        )
+    return result

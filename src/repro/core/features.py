@@ -1,0 +1,138 @@
+"""Assembly of context windows into fixed-shape model arrays.
+
+Windows carry variable numbers of visible cells (N_b changes along a
+trajectory); the model consumes fixed-shape batches.  ``assemble`` pads every
+window to ``max_cells`` and returns a validity mask so the aggregation step
+can mean-pool over real cells only (the paper's ``h_avg``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..context.normalize import (
+    CellFeatureTransform,
+    EnvFeatureNormalizer,
+    N_CELL_FEATURES,
+    TargetNormalizer,
+)
+from ..context.windows import ContextWindow
+
+#: Kinematic conditioning columns appended to the environment features:
+#: per-step speed and the sampling interval.  They are derivable from the
+#: input trajectory itself (no extra measurement needed) and tell ResGen how
+#: fast the residual process decorrelates per sample.
+N_KINEMATIC_FEATURES = 2
+
+
+@dataclass
+class ModelBatch:
+    """Fixed-shape arrays for a minibatch of windows.
+
+    Attributes:
+        cell_x: [B, max_cells, L, N_CELL_FEATURES] transformed cell features
+            (zero-padded beyond each window's real cell count).
+        cell_mask: [B, max_cells] — 1 for real cells, 0 for padding.
+        env: [B, L, 26 + N_KINEMATIC_FEATURES] normalized environment
+            context plus kinematic conditioning.
+        target: [B, L, N_ch] normalized targets, or None at generation time.
+        scenarios: per-window scenario tags (for per-scenario evaluation).
+    """
+
+    cell_x: np.ndarray
+    cell_mask: np.ndarray
+    env: np.ndarray
+    target: Optional[np.ndarray]
+    scenarios: List[str]
+
+    @property
+    def n_windows(self) -> int:
+        return self.cell_x.shape[0]
+
+    @property
+    def length(self) -> int:
+        return self.cell_x.shape[2]
+
+
+class WindowAssembler:
+    """Applies normalizers and pads windows into :class:`ModelBatch` arrays."""
+
+    def __init__(
+        self,
+        cell_transform: CellFeatureTransform,
+        env_normalizer: EnvFeatureNormalizer,
+        target_normalizer: TargetNormalizer,
+        max_cells: int,
+    ) -> None:
+        self.cell_transform = cell_transform
+        self.env_normalizer = env_normalizer
+        self.target_normalizer = target_normalizer
+        self.max_cells = max_cells
+
+    def assemble(self, windows: Sequence[ContextWindow], with_target: bool = True) -> ModelBatch:
+        if not windows:
+            raise ValueError("no windows to assemble")
+        length = windows[0].length
+        if any(w.length != length for w in windows):
+            raise ValueError("all windows in a batch must share their length")
+        batch = len(windows)
+        cell_x = np.zeros((batch, self.max_cells, length, N_CELL_FEATURES))
+        cell_mask = np.zeros((batch, self.max_cells))
+        n_env = windows[0].env_features.shape[-1] + N_KINEMATIC_FEATURES
+        env = np.empty((batch, length, n_env))
+        target: Optional[np.ndarray] = None
+        if with_target:
+            if any(w.target is None for w in windows):
+                raise ValueError("windows lack targets")
+            n_ch = windows[0].target.shape[-1]
+            target = np.empty((batch, length, n_ch))
+        for i, window in enumerate(windows):
+            features = self.cell_transform(window, window.ue_lat, window.ue_lon)
+            n_cells = min(window.n_cells, self.max_cells)
+            cell_x[i, :n_cells] = features[:, :n_cells].transpose(1, 0, 2)
+            cell_mask[i, :n_cells] = 1.0
+            speed = window.ue_speed
+            if len(speed) != length:
+                speed = np.zeros(length)
+            kinematics = np.column_stack(
+                [speed / 30.0, np.full(length, window.interval_s / 5.0)]
+            )
+            env[i] = np.concatenate(
+                [self.env_normalizer(window.env_features), kinematics], axis=-1
+            )
+            if with_target:
+                target[i] = self.target_normalizer.normalize(window.target)
+        return ModelBatch(
+            cell_x=cell_x,
+            cell_mask=cell_mask,
+            env=env,
+            target=target,
+            scenarios=[w.scenario for w in windows],
+        )
+
+
+def recent_values_matrix(series: np.ndarray, ar_window: int, initial: Optional[np.ndarray] = None) -> np.ndarray:
+    """Teacher-forcing AR inputs: for each t, the previous ``m`` values.
+
+    Args:
+        series: [B, L, N_ch] (normalized) target series.
+        ar_window: m.
+        initial: [B, m, N_ch] values preceding the window (e.g. the tail of
+            the previous generation batch); zeros if omitted.
+
+    Returns:
+        [B, L, m * N_ch] where row t holds ``x[t-m], ..., x[t-1]`` flattened.
+    """
+    b, length, n_ch = series.shape
+    if initial is None:
+        initial = np.zeros((b, ar_window, n_ch))
+    if initial.shape != (b, ar_window, n_ch):
+        raise ValueError("initial must be [B, m, N_ch]")
+    padded = np.concatenate([initial, series], axis=1)
+    out = np.empty((b, length, ar_window * n_ch))
+    for t in range(length):
+        out[:, t] = padded[:, t : t + ar_window].reshape(b, ar_window * n_ch)
+    return out

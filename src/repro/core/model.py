@@ -1,0 +1,272 @@
+"""High-level GenDT API: fit on drive-test records, generate for trajectories.
+
+This is the public face of the reproduction: an operator-style workflow of
+
+>>> model = GenDT(region, kpis=["rsrp", "rsrq"], config=small_config(), seed=0)
+>>> model.fit(train_records)
+>>> series = model.generate(new_trajectory, seed=1)   # [T, n_kpis], real units
+
+mirroring paper Figure 5 (input: trajectory; the model annotates it with
+network + environment context internally; output: multi-KPI time series).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..context.extract import ContextConfig
+from ..context.normalize import (
+    CellFeatureTransform,
+    EnvFeatureNormalizer,
+    TargetNormalizer,
+)
+from ..context.windows import ContextBuilder, ContextWindow
+from ..geo.trajectory import Trajectory
+from ..radio.kpis import KPI, KpiSpec
+from ..radio.simulator import DriveTestRecord
+from ..world.region import Region
+from .. import nn
+from .config import GenDTConfig
+from .features import ModelBatch, WindowAssembler
+from .generator import GenDTGenerator
+from .training import GenDTTrainer, TrainingHistory, make_minibatches
+
+
+class GenDT:
+    """GenDT model bound to a region's cell database and environment data."""
+
+    def __init__(
+        self,
+        region: Region,
+        kpis: Sequence[Union[str, KPI]] = ("rsrp", "rsrq", "sinr", "cqi"),
+        config: Optional[GenDTConfig] = None,
+        seed: int = 0,
+        context_config: Optional[ContextConfig] = None,
+    ) -> None:
+        self.region = region
+        self.kpi_spec = KpiSpec([KPI(k) for k in kpis])
+        self.config = config or GenDTConfig()
+        self.config.validate()
+        self.rng = np.random.default_rng(seed)
+        ctx = context_config or ContextConfig(max_cells=self.config.max_cells)
+        self.context = ContextBuilder(region, ctx)
+        self.cell_transform = CellFeatureTransform(region.frame)
+        self.env_normalizer = EnvFeatureNormalizer()
+        self.target_normalizer = TargetNormalizer()
+        self.generator: Optional[GenDTGenerator] = None
+        self.trainer: Optional[GenDTTrainer] = None
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    @property
+    def kpi_names(self) -> List[str]:
+        return self.kpi_spec.names()
+
+    def _batch_len(self, n_samples: int) -> int:
+        if self.config.batch_len is None:
+            return n_samples  # one-shot (the "No batch" ablation)
+        return self.config.batch_len
+
+    def build_training_windows(
+        self, records: Sequence[DriveTestRecord]
+    ) -> List[ContextWindow]:
+        """Overlapping context windows with targets (paper Fig. 8a)."""
+        min_len = min(len(r) for r in records)
+        length = min(self._batch_len(min_len), min_len)
+        step = self.config.train_step if self.config.batch_len is not None else length
+        return self.context.training_windows(records, self.kpi_names, length, step)
+
+    def fit(
+        self,
+        records: Sequence[DriveTestRecord],
+        epochs: Optional[int] = None,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Fit the generator (and refit normalizers) on measurement records."""
+        if not records:
+            raise ValueError("no training records")
+        stacked_targets = np.concatenate(
+            [r.kpi_matrix(self.kpi_names) for r in records], axis=0
+        )
+        self.target_normalizer.fit(stacked_targets)
+        windows = self.build_training_windows(records)
+        env_stack = np.concatenate([w.env_features for w in windows], axis=0)
+        self.env_normalizer.fit(env_stack)
+
+        from .features import N_KINEMATIC_FEATURES
+
+        n_env = windows[0].env_features.shape[-1] + N_KINEMATIC_FEATURES
+        self.generator = GenDTGenerator(
+            n_channels=self.kpi_spec.n_channels,
+            n_env=n_env,
+            config=self.config,
+            rng=self.rng,
+        )
+        self.trainer = GenDTTrainer(self.generator, self.config, self.rng)
+        assembler = WindowAssembler(
+            self.cell_transform,
+            self.env_normalizer,
+            self.target_normalizer,
+            self.config.max_cells,
+        )
+        batches = make_minibatches(
+            assembler, windows, self.config.minibatch_windows, self.rng
+        )
+        history = self.trainer.fit(batches, epochs=epochs, verbose=verbose)
+        self._fitted = True
+        return history
+
+    def continue_fit(
+        self, records: Sequence[DriveTestRecord], epochs: int, verbose: bool = False
+    ) -> TrainingHistory:
+        """Additional training passes on new records, keeping current weights.
+
+        Used by the active-learning loop (§6.2): normalizers stay fixed so
+        the generated scale remains consistent across retraining rounds.
+        """
+        self._require_fitted()
+        windows = self.build_training_windows(records)
+        assembler = self._assembler()
+        batches = make_minibatches(
+            assembler, windows, self.config.minibatch_windows, self.rng
+        )
+        return self.trainer.fit(batches, epochs=epochs, verbose=verbose)
+
+    def _assembler(self) -> WindowAssembler:
+        return WindowAssembler(
+            self.cell_transform,
+            self.env_normalizer,
+            self.target_normalizer,
+            self.config.max_cells,
+        )
+
+    def _require_fitted(self) -> None:
+        if not self._fitted or self.generator is None:
+            raise RuntimeError("model must be fit before use")
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def generate_normalized(
+        self,
+        trajectory: Trajectory,
+        collect_params: bool = False,
+        stochastic: Optional[bool] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Generate in normalized space; used internally and by uncertainty.
+
+        Returns {"series": [T, N_ch], optionally "mu"/"sigma": [T, N_ch]}.
+        """
+        self._require_fitted()
+        length = self._batch_len(len(trajectory))
+        windows = self.context.generation_windows(trajectory, length)
+        assembler = self._assembler()
+        m = self.config.resgen_ar_window
+        n_ch = self.kpi_spec.n_channels
+        series = np.full((len(trajectory), n_ch), np.nan)
+        mu = np.full_like(series, np.nan) if collect_params else None
+        sigma = np.full_like(series, np.nan) if collect_params else None
+        ar_state = np.zeros((1, m, n_ch))
+        for window in windows:
+            batch = assembler.assemble([window], with_target=False)
+            out, ar_state, params = self.generator.generate_batch(
+                batch, ar_state=ar_state, stochastic=stochastic,
+                collect_params=collect_params,
+            )
+            start, stop = window.start, window.start + window.length
+            series[start:stop] = out[0]
+            if collect_params and params is not None:
+                mu[start:stop] = params["mu"][0]
+                sigma[start:stop] = params["sigma"][0]
+        result = {"series": series}
+        if collect_params:
+            result["mu"] = mu
+            result["sigma"] = sigma
+        return result
+
+    def generate(
+        self, trajectory: Trajectory, stochastic: Optional[bool] = None
+    ) -> np.ndarray:
+        """Generate the KPI time series for a trajectory, in physical units.
+
+        Returns [T, n_kpis], channels ordered as ``self.kpi_names``; values
+        are clipped to physical KPI ranges (CQI snapped to integers).
+        """
+        normalized = self.generate_normalized(trajectory, stochastic=stochastic)
+        series = self.target_normalizer.denormalize(normalized["series"])
+        return self._clip(series)
+
+    def generate_samples(self, trajectory: Trajectory, n_samples: int) -> np.ndarray:
+        """Multiple independent generations, [n_samples, T, n_kpis]."""
+        return np.stack([self.generate(trajectory) for _ in range(n_samples)])
+
+    def generate_expected(self, trajectory: Trajectory, n_samples: int = 4) -> np.ndarray:
+        """Monte-Carlo estimate of the *conditional mean* KPI series.
+
+        Averages several stochastic generations before clipping.  Use this
+        when the series feeds a downstream regressor (e.g. the QoE
+        predictor): the regression-optimal input is E[x | context], whereas
+        :meth:`generate` returns one stochastic draw whose sampling noise
+        would propagate into the downstream prediction.
+        """
+        draws = [
+            self.target_normalizer.denormalize(
+                self.generate_normalized(trajectory)["series"]
+            )
+            for _ in range(n_samples)
+        ]
+        return self._clip(np.mean(draws, axis=0))
+
+    def _clip(self, series: np.ndarray) -> np.ndarray:
+        clipped = self.kpi_spec.clip(series)
+        # Serving-cell channel (handover use case): snap to integers.
+        for idx, kpi in enumerate(self.kpi_spec.kpis):
+            if kpi == KPI.SERVING_CELL:
+                clipped[:, idx] = np.round(clipped[:, idx])
+        return clipped
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Serialize generator weights and normalizer state."""
+        self._require_fitted()
+        meta = {
+            "kpis": self.kpi_names,
+            "env_normalizer": {
+                k: v.tolist() for k, v in self.env_normalizer.state().items()
+            },
+            "target_normalizer": {
+                k: v.tolist() for k, v in self.target_normalizer.state().items()
+            },
+        }
+        nn.save_module(self.generator, path, meta=meta)
+
+    def load(self, path: Union[str, Path], n_env: int = 28) -> None:
+        """Restore a model saved with :meth:`save` (same config required)."""
+        self.generator = GenDTGenerator(
+            n_channels=self.kpi_spec.n_channels,
+            n_env=n_env,
+            config=self.config,
+            rng=self.rng,
+        )
+        meta = nn.load_module(self.generator, path)
+        if meta is None:
+            raise ValueError("missing metadata in checkpoint")
+        if meta["kpis"] != self.kpi_names:
+            raise ValueError(
+                f"checkpoint KPIs {meta['kpis']} do not match model {self.kpi_names}"
+            )
+        self.env_normalizer = EnvFeatureNormalizer.from_state(
+            {k: np.asarray(v) for k, v in meta["env_normalizer"].items()}
+        )
+        self.target_normalizer = TargetNormalizer.from_state(
+            {k: np.asarray(v) for k, v in meta["target_normalizer"].items()}
+        )
+        self.trainer = GenDTTrainer(self.generator, self.config, self.rng)
+        self._fitted = True

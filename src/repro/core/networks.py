@@ -1,0 +1,170 @@
+"""GenDT generator components: GNN-node, aggregation, ResGen, discriminator.
+
+Maps paper Figure 6/7 onto the numpy NN engine:
+
+* :class:`GnnNodeNetwork` (``G_n``) — one shared stochastic LSTM applied to
+  every visible cell's context series (weight sharing across nodes is what
+  makes it a graph network: a GraphSAGE-style node function with a mean
+  aggregator).  Denoising noise ``z0`` is concatenated to the input.
+* :class:`AggregationNetwork` (``G_a``) — mean-pools the per-cell hidden
+  series into ``h_avg`` and maps it with a second stochastic LSTM plus a
+  linear head to the first-stage multi-channel KPI output.
+* :class:`ResGen` (``G_r``, Figure 7) — an autoregressive MLP over
+  environment context + noise ``z1`` + the last ``m`` KPI values, emitting
+  per-step Gaussian parameters ``(mu, log_sigma)``; the residual sample is
+  reparameterized (``mu + sigma * eps``) so gradients flow.
+* :class:`Discriminator` (``R``) — a single-layer LSTM over the KPI series
+  concatenated with ``h_avg`` (the high-dimensional context representation,
+  §4.3.5), followed by a linear head on the last hidden state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..nn.tensor import Tensor, concat
+from .config import GenDTConfig
+from .stochastic_lstm import StochasticLSTM
+
+
+class GnnNodeNetwork(nn.Module):
+    """``G_n``: per-cell context series -> per-cell hidden series.
+
+    Input: ``[B * N_b, L, n_features + n_noise]``; output ``[B * N_b, L, H]``.
+    The same weights process every cell (node-level weight sharing).
+    """
+
+    def __init__(self, n_features: int, config: GenDTConfig, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.n_noise = config.n_noise_node
+        self.lstm = StochasticLSTM(
+            n_features + self.n_noise,
+            config.hidden_size,
+            rng,
+            intensity_h=config.noise_intensity_h,
+            intensity_c=config.noise_intensity_c,
+            stochastic=config.use_stochastic_layers,
+        )
+        self.rng = rng
+
+    def forward(self, cell_inputs: Tensor, stochastic: Optional[bool] = None) -> Tensor:
+        rows, steps, _ = cell_inputs.shape
+        # z0: denoising noise, concatenated to every step's input (§4.3.1).
+        z0 = Tensor(self.rng.normal(0.0, 1.0, size=(rows, steps, self.n_noise)))
+        hidden, _ = self.lstm(concat([cell_inputs, z0], axis=2), stochastic=stochastic)
+        return hidden
+
+
+class AggregationNetwork(nn.Module):
+    """``G_a``: graph-level hidden series ``h_avg`` -> base KPI series."""
+
+    def __init__(self, n_channels: int, config: GenDTConfig, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.lstm = StochasticLSTM(
+            config.hidden_size,
+            config.hidden_size,
+            rng,
+            intensity_h=config.noise_intensity_h,
+            intensity_c=config.noise_intensity_c,
+            stochastic=config.use_stochastic_layers,
+        )
+        self.head = nn.Linear(config.hidden_size, n_channels, rng)
+
+    def forward(self, h_avg: Tensor, stochastic: Optional[bool] = None) -> Tensor:
+        hidden, _ = self.lstm(h_avg, stochastic=stochastic)
+        return self.head(hidden)
+
+
+class ResGen(nn.Module):
+    """``G_r``: environment context + noise + recent residuals -> Gaussian residual.
+
+    The network follows paper Figure 7 (three FC+LeakyReLU blocks, dropout
+    before the final FC) but parameterizes the per-step Gaussian as a
+    *stationary autoregression over the residual process*:
+
+    ``mu_t = sum_k g_k(c) * r_{t-k}``,  ``g_k = sigmoid(raw_k) / m``
+
+    with the AR gains ``g_k`` and ``log_sigma`` emitted by the MLP,
+    conditioned on environment context, noise ``z1`` and the recent
+    residuals.  Because ``sum_k g_k < 1`` the generated residual process is
+    mean-reverting: it cannot drift when the model consumes its own outputs
+    at generation time (the free-form-``mu`` head diverges there), yet the
+    context still modulates how correlated (``g``) and how wide (``sigma``)
+    the residual is — exactly the environment's physical effect on
+    shadowing.  The dropout layer doubles as the MC-dropout probe for model
+    uncertainty (§6.2.1) via ``force_dropout``.
+    """
+
+    def __init__(
+        self,
+        n_env: int,
+        n_channels: int,
+        config: GenDTConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.n_channels = n_channels
+        self.n_noise = config.n_noise_resgen
+        self.ar_window = config.resgen_ar_window
+        in_features = n_env + self.n_noise + self.ar_window * n_channels
+        # Head: m AR gains + 1 log-sigma per channel.
+        self.mlp = nn.MLP(
+            in_features,
+            list(config.resgen_hidden),
+            (self.ar_window + 1) * n_channels,
+            rng,
+            dropout=config.resgen_dropout,
+        )
+        self.rng = rng
+
+    def force_dropout(self, active: bool) -> None:
+        """Keep dropout on at generation time (MC-dropout uncertainty)."""
+        for layer in self.mlp.dropout_layers:
+            layer.force_active = active
+
+    def distribution(self, env: Tensor, recent: Tensor) -> Tuple[Tensor, Tensor]:
+        """Gaussian parameters for a batch of timesteps.
+
+        Args:
+            env: normalized environment context, [..., n_env].
+            recent: last ``m`` *residual* values (normalized),
+                [..., m * N_ch], oldest first.
+
+        Returns:
+            (mu, log_sigma), each [..., N_ch].
+        """
+        noise_shape = env.shape[:-1] + (self.n_noise,)
+        z1 = Tensor(self.rng.normal(0.0, 1.0, size=noise_shape))
+        out = self.mlp(concat([env, z1, recent], axis=-1))
+        m, n_ch = self.ar_window, self.n_channels
+        gains = out[..., : m * n_ch].sigmoid() * (1.0 / m)
+        log_sigma = out[..., m * n_ch :].clip(-5.0, 2.0)
+        # recent is [..., m * N_ch] laid out as m blocks of N_ch (oldest
+        # first); mu is the gain-weighted sum over the m lags.
+        mu = (gains * recent).reshape(*env.shape[:-1], m, n_ch).sum(axis=-2)
+        return mu, log_sigma
+
+    def sample(self, env: Tensor, recent: Tensor) -> Tuple[Tensor, Tensor, Tensor]:
+        """Reparameterized residual sample; returns (residual, mu, log_sigma)."""
+        mu, log_sigma = self.distribution(env, recent)
+        eps = Tensor(self.rng.normal(0.0, 1.0, size=mu.shape))
+        residual = mu + log_sigma.exp() * eps
+        return residual, mu, log_sigma
+
+
+class Discriminator(nn.Module):
+    """``R``: (KPI series, h_avg) -> realness logit, via a 1-layer LSTM."""
+
+    def __init__(self, n_channels: int, config: GenDTConfig, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.lstm = nn.LSTM(n_channels + config.hidden_size, config.hidden_size, rng)
+        self.head = nn.Linear(config.hidden_size, 1, rng)
+
+    def forward(self, series: Tensor, h_avg: Tensor) -> Tensor:
+        """Logits [B, 1] for a batch of (series [B, L, N_ch], h_avg [B, L, H])."""
+        hidden, _ = self.lstm(concat([series, h_avg], axis=2))
+        last = hidden[:, -1, :]
+        return self.head(last)

@@ -1,0 +1,95 @@
+"""Stochastic LSTM layers (the paper's SRNN variant, §4.3.4 and §A.2).
+
+Before every LSTM iteration, uniform noise is added to the hidden state
+``h_t`` and memory ``c_t`` and the result is renormalized so the total value
+across hidden dimensions is preserved:
+
+``h'_t = (h_t + a_h * n_h) * sum(h_t) / sum(h_t + a_h * n_h)``
+
+with ``n_h ~ U[0, mean(h_t)]`` (the noise amplitude adapts to the hidden
+state's own scale) and intensity ``a_h`` (paper default 2; ``a_c`` likewise
+for the memory).  Unlike the original SRNN's variational-inference training,
+GenDT trains these layers adversarially — the discriminator provides the
+extra signal that makes the stochastic hidden dynamics match the data's
+variability.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..nn.tensor import Tensor, stack
+
+
+def _inject_noise(state: Tensor, intensity: float, rng: np.random.Generator) -> Tensor:
+    """Apply the paper's adaptive uniform noise + sum-preserving renorm.
+
+    The noise is U[0, h_hat] where h_hat is the *average value* of the
+    hidden state across dimensions (paper §4.3.4) — signed, so a network
+    whose hidden activations balance around zero receives little noise,
+    and training can modulate the injected stochasticity.
+    """
+    values = state.data
+    mean_value = values.mean(axis=-1, keepdims=True)
+    noise = rng.uniform(0.0, 1.0, size=values.shape) * mean_value
+    noisy = state + Tensor(intensity * noise)
+    # Renormalize so the per-row total is unchanged (paper §A.2).
+    row_sum = state.sum(axis=-1, keepdims=True)
+    noisy_sum = noisy.sum(axis=-1, keepdims=True)
+    denom_safe = np.where(np.abs(noisy_sum.data) < 1e-6, 1.0, noisy_sum.data)
+    scale = row_sum / Tensor(denom_safe)
+    return noisy * scale
+
+
+class StochasticLSTM(nn.Module):
+    """LSTM whose recurrent state is perturbed per step (GenDT SRNN layers).
+
+    When ``stochastic`` is False (or the intensity is zero) this reduces to
+    a plain LSTM — that is exactly the "No SRNN" ablation of paper Table 12.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator,
+        intensity_h: float = 2.0,
+        intensity_c: float = 2.0,
+        stochastic: bool = True,
+    ) -> None:
+        super().__init__()
+        self.cell = nn.LSTMCell(input_size, hidden_size, rng)
+        self.hidden_size = hidden_size
+        self.intensity_h = intensity_h
+        self.intensity_c = intensity_c
+        self.stochastic = stochastic
+        self.rng = rng
+
+    def forward(
+        self,
+        x: Tensor,
+        state: Optional[Tuple[Tensor, Tensor]] = None,
+        stochastic: Optional[bool] = None,
+    ) -> Tuple[Tensor, Tuple[Tensor, Tensor]]:
+        """Run over a sequence ``[B, T, input_size]`` -> ``[B, T, H]``.
+
+        ``stochastic`` overrides the module default (used to disable noise
+        for deterministic evaluation).
+        """
+        use_noise = self.stochastic if stochastic is None else stochastic
+        batch = x.shape[0]
+        if state is None:
+            h, c = self.cell.zero_state(batch)
+        else:
+            h, c = state
+        outputs: List[Tensor] = []
+        for t in range(x.shape[1]):
+            if use_noise:
+                h = _inject_noise(h, self.intensity_h, self.rng)
+                c = _inject_noise(c, self.intensity_c, self.rng)
+            h, c = self.cell(x[:, t, :], (h, c))
+            outputs.append(h)
+        return stack(outputs, axis=1), (h, c)

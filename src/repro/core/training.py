@@ -1,0 +1,171 @@
+"""GenDT adversarial training (paper §4.3.5).
+
+The generator is fit by minimizing ``L = L_M + lambda * L_JS``: a mean
+squared error term against the real series plus the Jensen-Shannon GAN term
+supplied by a single-layer LSTM discriminator that observes the series
+together with ``h_avg``, the high-dimensional context representation.  A
+small Gaussian-NLL term keeps ResGen's (mu, sigma) head calibrated so that
+the learned sigma reflects data uncertainty (needed for the §6.2 uncertainty
+decomposition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..nn.tensor import Tensor
+from .config import GenDTConfig
+from .features import ModelBatch, WindowAssembler
+from .generator import GenDTGenerator
+from .networks import Discriminator
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss curves."""
+
+    total: List[float] = field(default_factory=list)
+    mse: List[float] = field(default_factory=list)
+    adversarial: List[float] = field(default_factory=list)
+    discriminator: List[float] = field(default_factory=list)
+    nll: List[float] = field(default_factory=list)
+
+    def last(self) -> Dict[str, float]:
+        return {
+            "total": self.total[-1] if self.total else float("nan"),
+            "mse": self.mse[-1] if self.mse else float("nan"),
+            "adv": self.adversarial[-1] if self.adversarial else float("nan"),
+            "disc": self.discriminator[-1] if self.discriminator else float("nan"),
+            "nll": self.nll[-1] if self.nll else float("nan"),
+        }
+
+
+class GenDTTrainer:
+    """Alternating generator/discriminator optimization over window batches."""
+
+    def __init__(
+        self,
+        generator: GenDTGenerator,
+        config: GenDTConfig,
+        rng: np.random.Generator,
+        nll_weight: float = 0.1,
+    ) -> None:
+        self.generator = generator
+        self.config = config
+        self.rng = rng
+        self.nll_weight = nll_weight
+        self.g_optimizer = nn.Adam(generator.parameters(), lr=config.lr_generator)
+        self.discriminator: Optional[Discriminator] = None
+        self.d_optimizer: Optional[nn.Adam] = None
+        if config.lambda_adv > 0:
+            self.discriminator = Discriminator(
+                generator.n_channels, config, rng
+            )
+            self.d_optimizer = nn.Adam(
+                self.discriminator.parameters(), lr=config.lr_discriminator
+            )
+        self.history = TrainingHistory()
+
+    # ------------------------------------------------------------------
+    def _discriminator_step(self, batch: ModelBatch) -> float:
+        assert self.discriminator is not None and self.d_optimizer is not None
+        with nn.no_grad():
+            fake = self.generator.forward_teacher_forced(batch)
+            fake_series = Tensor(fake["output"].numpy())
+            h_avg = Tensor(fake["h_avg"].numpy())
+        real_logits = self.discriminator(Tensor(batch.target), h_avg)
+        fake_logits = self.discriminator(fake_series, h_avg)
+        loss = nn.discriminator_loss(real_logits, fake_logits)
+        self.d_optimizer.zero_grad()
+        loss.backward()
+        self.d_optimizer.clip_grad_norm(self.config.grad_clip)
+        self.d_optimizer.step()
+        return loss.item()
+
+    def _generator_step(self, batch: ModelBatch) -> Dict[str, float]:
+        out = self.generator.forward_teacher_forced(batch)
+        target = Tensor(batch.target)
+        mse = nn.mse_loss(out["output"], target)
+        loss = mse
+        if "mu" in out:
+            # Deep supervision on the base network: the conditional mean must
+            # live in G_n/G_a, leaving ResGen a zero-mean residual process.
+            # Without this term the base/residual split is unidentifiable
+            # under teacher forcing and the base collapses to a constant.
+            loss = loss + nn.mse_loss(out["base"], target)
+        adv_value = 0.0
+        if self.discriminator is not None:
+            fake_logits = self.discriminator(out["output"], out["h_avg"])
+            adv = nn.generator_adversarial_loss(fake_logits)
+            loss = loss + self.config.lambda_adv * adv
+            adv_value = adv.item()
+        nll_value = 0.0
+        if "mu" in out:
+            # Keep the Gaussian head calibrated against the residual the
+            # base network leaves behind.
+            residual_target = target - Tensor(out["base"].numpy())
+            nll = nn.gaussian_nll(out["mu"], out["log_sigma"], residual_target)
+            loss = loss + self.nll_weight * nll
+            nll_value = nll.item()
+        self.g_optimizer.zero_grad()
+        loss.backward()
+        self.g_optimizer.clip_grad_norm(self.config.grad_clip)
+        self.g_optimizer.step()
+        return {"total": loss.item(), "mse": mse.item(), "adv": adv_value, "nll": nll_value}
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        batches: Sequence[ModelBatch],
+        epochs: Optional[int] = None,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Train over pre-assembled minibatches for ``epochs`` passes."""
+        if not batches:
+            raise ValueError("no training batches")
+        epochs = epochs or self.config.epochs
+        for epoch in range(epochs):
+            order = self.rng.permutation(len(batches))
+            epoch_stats = {"total": 0.0, "mse": 0.0, "adv": 0.0, "nll": 0.0, "disc": 0.0}
+            for idx in order:
+                batch = batches[idx]
+                if self.discriminator is not None:
+                    for _ in range(self.config.d_steps_per_g_step):
+                        epoch_stats["disc"] += self._discriminator_step(batch)
+                stats = self._generator_step(batch)
+                for key in ("total", "mse", "adv", "nll"):
+                    epoch_stats[key] += stats[key]
+            n = len(batches)
+            self.history.total.append(epoch_stats["total"] / n)
+            self.history.mse.append(epoch_stats["mse"] / n)
+            self.history.adversarial.append(epoch_stats["adv"] / n)
+            self.history.nll.append(epoch_stats["nll"] / n)
+            self.history.discriminator.append(
+                epoch_stats["disc"] / max(n * self.config.d_steps_per_g_step, 1)
+            )
+            if verbose:
+                print(f"epoch {epoch + 1}/{epochs}: {self.history.last()}")
+        return self.history
+
+
+def make_minibatches(
+    assembler: WindowAssembler,
+    windows: Sequence,
+    minibatch_windows: int,
+    rng: np.random.Generator,
+) -> List[ModelBatch]:
+    """Shuffle windows (grouped by length) and assemble fixed-size batches."""
+    by_length: Dict[int, List] = {}
+    for window in windows:
+        by_length.setdefault(window.length, []).append(window)
+    batches: List[ModelBatch] = []
+    for length, group in by_length.items():
+        order = rng.permutation(len(group))
+        for start in range(0, len(group), minibatch_windows):
+            chunk = [group[i] for i in order[start : start + minibatch_windows]]
+            batches.append(assembler.assemble(chunk, with_target=True))
+    return batches

@@ -1,0 +1,163 @@
+"""The operator workflow of paper Figure 14: pretrain, transfer, retrain.
+
+GenDT's design is region-agnostic — the model consumes context features,
+not region identity — so a model pretrained on historical drive-test data
+can be carried to a previously unseen region:
+
+1. **Transfer** (Fig. 14 ①): rebind the pretrained model to the new
+   region's cell database and environment data (weights unchanged).
+2. **Bootstrap** (Fig. 14 ②): collect a coarse-grained measurement pass
+   (e.g. one route per district) and fine-tune on it.
+3. **Uncertainty loop** (Fig. 14 ③): repeatedly probe candidate areas with
+   the MC-dropout model-uncertainty measure, measure (simulate) the most
+   uncertain one, fine-tune, until U(G) stops improving or the budget is
+   spent.  The outcome is the generation-phase model.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..context.extract import ContextConfig
+from ..context.normalize import CellFeatureTransform
+from ..context.windows import ContextBuilder
+from ..geo.trajectory import Trajectory
+from ..radio.simulator import DriveTestRecord
+from ..world.region import Region
+from .model import GenDT
+from .uncertainty import mc_dropout_uncertainty
+
+
+def transfer_model(model: GenDT, region: Region) -> GenDT:
+    """Rebind a fitted GenDT to a new region (Fig. 14 ①).
+
+    Network weights and normalizers are kept (the model is region-agnostic);
+    only the context pipeline — cell database, environment layers — is
+    swapped.  The returned model shares weights with the original, so
+    fine-tuning it also refines the source model unless you ``deepcopy``
+    first.
+    """
+    model._require_fitted()
+    transferred = copy.copy(model)
+    transferred.region = region
+    transferred.context = ContextBuilder(
+        region, ContextConfig(max_cells=model.config.max_cells)
+    )
+    transferred.cell_transform = CellFeatureTransform(region.frame)
+    return transferred
+
+
+@dataclass
+class RetrainingStep:
+    """One round of the Fig. 14 ③ loop."""
+
+    step: int
+    measured_area: int
+    model_uncertainty: float
+    records_used: int
+
+
+@dataclass
+class RetrainingResult:
+    """Outcome of the transfer-and-retrain workflow."""
+
+    model: GenDT
+    steps: List[RetrainingStep] = field(default_factory=list)
+
+    def uncertainty_series(self) -> List[float]:
+        return [s.model_uncertainty for s in self.steps]
+
+    @property
+    def converged(self) -> bool:
+        """Did the loop stop because uncertainty plateaued (vs budget)?"""
+        series = self.uncertainty_series()
+        if len(series) < 2:
+            return False
+        return series[-1] >= series[-2] * 0.98
+
+
+def retrain_in_new_region(
+    pretrained: GenDT,
+    region: Region,
+    measure: Callable[[int], Sequence[DriveTestRecord]],
+    probe_trajectories: Sequence[Trajectory],
+    bootstrap_area: int = 0,
+    max_steps: int = 5,
+    epochs_per_step: int = 3,
+    mc_passes: int = 4,
+    plateau_tolerance: float = 0.02,
+) -> RetrainingResult:
+    """Run the Fig. 14 workflow in a new region.
+
+    Args:
+        pretrained: a fitted GenDT (historical data, any region).
+        region: the unseen target region.
+        measure: campaign callback — given an area index, returns the
+            measurement records for that area (in production a drive test;
+            in this reproduction the simulator).
+        probe_trajectories: one representative trajectory per candidate
+            area, used for the uncertainty probe; area indices refer to
+            positions in this sequence.
+        bootstrap_area: area measured unconditionally first (Fig. 14 ②).
+        max_steps: measurement budget beyond the bootstrap.
+        epochs_per_step: fine-tuning epochs per round.
+        mc_passes: MC-dropout passes for U(G).
+        plateau_tolerance: stop when U(G) improves by less than this
+            relative amount.
+
+    Returns:
+        the fine-tuned model plus the per-step uncertainty trace.
+    """
+    if not probe_trajectories:
+        raise ValueError("need at least one probe trajectory")
+    model = transfer_model(pretrained, region)
+
+    pool: List[DriveTestRecord] = list(measure(bootstrap_area))
+    if not pool:
+        raise ValueError("bootstrap measurement returned no records")
+    model.continue_fit(pool, epochs=epochs_per_step)
+
+    def area_uncertainty(idx: int) -> float:
+        return mc_dropout_uncertainty(
+            model, probe_trajectories[idx], n_passes=mc_passes
+        ).model_uncertainty
+
+    measured = {bootstrap_area}
+    result = RetrainingResult(model=model)
+    last_u = float(np.mean([area_uncertainty(i) for i in range(len(probe_trajectories))]))
+    result.steps.append(
+        RetrainingStep(
+            step=0, measured_area=bootstrap_area,
+            model_uncertainty=last_u, records_used=len(pool),
+        )
+    )
+    for step in range(1, max_steps + 1):
+        remaining = [i for i in range(len(probe_trajectories)) if i not in measured]
+        if not remaining:
+            break
+        scores = {i: area_uncertainty(i) for i in remaining}
+        target = max(scores, key=scores.get)
+        new_records = list(measure(target))
+        if not new_records:
+            measured.add(target)
+            continue
+        pool.extend(new_records)
+        measured.add(target)
+        model.continue_fit(pool, epochs=epochs_per_step)
+        current_u = float(
+            np.mean([area_uncertainty(i) for i in range(len(probe_trajectories))])
+        )
+        result.steps.append(
+            RetrainingStep(
+                step=step, measured_area=target,
+                model_uncertainty=current_u, records_used=len(pool),
+            )
+        )
+        if last_u - current_u < plateau_tolerance * max(last_u, 1e-9):
+            break
+        last_u = current_u
+    return result

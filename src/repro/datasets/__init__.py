@@ -1,0 +1,48 @@
+"""Synthetic drive-test datasets replacing the paper's measurement data."""
+
+from .base import DatasetSplit, DriveTestDataset, split_by_geography, split_per_scenario
+from .dataset_a import DATASET_A_SCENARIOS, ScenarioASpec, make_dataset_a
+from .dataset_b import (
+    DATASET_B_CITIES,
+    DATASET_B_SCENARIOS,
+    ScenarioBSpec,
+    build_region_b,
+    make_active_learning_subsets,
+    make_dataset_b,
+    make_long_trajectory,
+)
+from .stats import ScenarioStats, dataset_stats, scenario_stats
+from .mdt import (
+    CoverageMap,
+    SparseMeasurements,
+    build_coverage_map,
+    crowdsourced_campaign,
+    gendt_coverage_measurements,
+    mdt_campaign,
+)
+
+__all__ = [
+    "DriveTestDataset",
+    "DatasetSplit",
+    "split_by_geography",
+    "split_per_scenario",
+    "make_dataset_a",
+    "ScenarioASpec",
+    "DATASET_A_SCENARIOS",
+    "make_dataset_b",
+    "ScenarioBSpec",
+    "DATASET_B_SCENARIOS",
+    "DATASET_B_CITIES",
+    "build_region_b",
+    "make_long_trajectory",
+    "make_active_learning_subsets",
+    "ScenarioStats",
+    "scenario_stats",
+    "dataset_stats",
+    "SparseMeasurements",
+    "mdt_campaign",
+    "crowdsourced_campaign",
+    "CoverageMap",
+    "build_coverage_map",
+    "gendt_coverage_measurements",
+]

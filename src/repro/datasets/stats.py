@@ -1,0 +1,81 @@
+"""Dataset summary statistics (paper Tables 1 & 2).
+
+Computes, per scenario: time granularity, average velocity, average dwell
+time at each serving cell, mean/std of RSRP and RSRQ, rate of change (ROC —
+mean absolute first derivative, reported for Dataset B), and sample counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..radio.association import cell_dwell_times
+from ..radio.simulator import DriveTestRecord
+
+
+@dataclass
+class ScenarioStats:
+    """Table 1/2 row for one scenario."""
+
+    scenario: str
+    time_granularity_s: float
+    avg_velocity_mps: float
+    avg_cell_dwell_s: float
+    avg_rsrp_dbm: float
+    std_rsrp_dbm: float
+    roc_rsrp: float
+    avg_rsrq_db: float
+    std_rsrq_db: float
+    roc_rsrq: float
+    n_samples: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "scenario": self.scenario,
+            "granularity_s": round(self.time_granularity_s, 2),
+            "velocity_mps": round(self.avg_velocity_mps, 2),
+            "cell_dwell_s": round(self.avg_cell_dwell_s, 2),
+            "rsrp_mean": round(self.avg_rsrp_dbm, 1),
+            "rsrp_std": round(self.std_rsrp_dbm, 1),
+            "rsrp_roc": round(self.roc_rsrp, 2),
+            "rsrq_mean": round(self.avg_rsrq_db, 1),
+            "rsrq_std": round(self.std_rsrq_db, 1),
+            "rsrq_roc": round(self.roc_rsrq, 2),
+            "samples": self.n_samples,
+        }
+
+
+def scenario_stats(scenario: str, records: Sequence[DriveTestRecord]) -> ScenarioStats:
+    """Aggregate the Table 1/2 statistics over a scenario's records."""
+    if not records:
+        raise ValueError("no records for scenario")
+    rsrp = np.concatenate([r.kpi["rsrp"] for r in records])
+    rsrq = np.concatenate([r.kpi["rsrq"] for r in records])
+    granularity = float(np.mean([r.trajectory.sample_interval_s for r in records]))
+    velocity = float(np.mean([r.trajectory.average_speed_mps() for r in records]))
+    dwell = np.concatenate(
+        [cell_dwell_times(r.serving_cell_id, r.trajectory.t) for r in records]
+    )
+    roc_rsrp = float(np.mean([np.mean(np.abs(np.diff(r.kpi["rsrp"]))) for r in records]))
+    roc_rsrq = float(np.mean([np.mean(np.abs(np.diff(r.kpi["rsrq"]))) for r in records]))
+    return ScenarioStats(
+        scenario=scenario,
+        time_granularity_s=granularity,
+        avg_velocity_mps=velocity,
+        avg_cell_dwell_s=float(dwell.mean()),
+        avg_rsrp_dbm=float(rsrp.mean()),
+        std_rsrp_dbm=float(rsrp.std()),
+        roc_rsrp=roc_rsrp,
+        avg_rsrq_db=float(rsrq.mean()),
+        std_rsrq_db=float(rsrq.std()),
+        roc_rsrq=roc_rsrq,
+        n_samples=int(sum(len(r) for r in records)),
+    )
+
+
+def dataset_stats(records_by_scenario: Dict[str, Sequence[DriveTestRecord]]) -> List[ScenarioStats]:
+    """Stats rows for every scenario (Tables 1 & 2)."""
+    return [scenario_stats(name, recs) for name, recs in records_by_scenario.items()]

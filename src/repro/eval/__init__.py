@@ -1,0 +1,47 @@
+"""Evaluation harness, analysis helpers, and text reporting."""
+
+from .harness import (
+    FidelityResult,
+    METRIC_NAMES,
+    compare_methods,
+    evaluate_method,
+    ranking,
+)
+from .reporting import (
+    ascii_plot,
+    average_rows,
+    cdf_points,
+    fidelity_rows,
+    format_table,
+    sparkline,
+)
+from .analysis import (
+    GenerationEnvelope,
+    StochasticityAnalysis,
+    analyze_stochasticity,
+    serving_cell_distances_fast,
+    stitched_generation,
+)
+from .report import REPORT_SECTIONS, build_report, collect_results
+
+__all__ = [
+    "FidelityResult",
+    "METRIC_NAMES",
+    "evaluate_method",
+    "compare_methods",
+    "ranking",
+    "format_table",
+    "sparkline",
+    "ascii_plot",
+    "cdf_points",
+    "fidelity_rows",
+    "average_rows",
+    "StochasticityAnalysis",
+    "analyze_stochasticity",
+    "GenerationEnvelope",
+    "serving_cell_distances_fast",
+    "stitched_generation",
+    "REPORT_SECTIONS",
+    "build_report",
+    "collect_results",
+]

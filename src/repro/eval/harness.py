@@ -1,0 +1,107 @@
+"""Experiment harness: run methods over test sets, collect fidelity tables.
+
+One loop serves every fidelity table in the paper (Tables 3-8): for each
+method, generate the KPI series for every test record, compute MAE/DTW/HWD
+per KPI channel, and aggregate per scenario and overall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..geo.trajectory import Trajectory
+from ..metrics.fidelity import evaluate_series
+from ..radio.simulator import DriveTestRecord
+
+#: A generation method: anything with .generate(trajectory) -> [T, n_kpis].
+GenerateFn = Callable[[Trajectory], np.ndarray]
+
+METRIC_NAMES = ("mae", "dtw", "hwd")
+
+
+@dataclass
+class FidelityResult:
+    """Nested metric store: scenario -> kpi -> metric -> value."""
+
+    method: str
+    per_scenario: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+
+    def scenarios(self) -> List[str]:
+        return list(self.per_scenario.keys())
+
+    def get(self, scenario: str, kpi: str, metric: str) -> float:
+        return self.per_scenario[scenario][kpi][metric]
+
+    def average(self, kpi: str, metric: str) -> float:
+        """Mean of a metric for one KPI across all scenarios."""
+        values = [
+            self.per_scenario[s][kpi][metric]
+            for s in self.per_scenario
+            if kpi in self.per_scenario[s]
+        ]
+        if not values:
+            raise KeyError(f"no data for kpi={kpi}")
+        return float(np.mean(values))
+
+
+def evaluate_method(
+    method_name: str,
+    generate: GenerateFn,
+    test_records: Sequence[DriveTestRecord],
+    kpi_names: Sequence[str],
+    n_generations: int = 1,
+) -> FidelityResult:
+    """Fidelity of one method over a test set.
+
+    With ``n_generations > 1`` the metrics are averaged over several
+    independent generations (reduces evaluation variance for stochastic
+    generators).
+    """
+    result = FidelityResult(method=method_name)
+    acc: Dict[str, Dict[str, Dict[str, List[float]]]] = {}
+    for record in test_records:
+        real = record.kpi_matrix(list(kpi_names))
+        for _ in range(n_generations):
+            generated = generate(record.trajectory)
+            if generated.shape != real.shape:
+                raise ValueError(
+                    f"{method_name} produced shape {generated.shape}, "
+                    f"expected {real.shape}"
+                )
+            scenario = record.scenario or "all"
+            for idx, kpi in enumerate(kpi_names):
+                metrics = evaluate_series(real[:, idx], generated[:, idx])
+                bucket = acc.setdefault(scenario, {}).setdefault(
+                    kpi, {m: [] for m in METRIC_NAMES}
+                )
+                for m in METRIC_NAMES:
+                    bucket[m].append(metrics[m])
+    for scenario, kpis in acc.items():
+        result.per_scenario[scenario] = {
+            kpi: {m: float(np.mean(vals)) for m, vals in metrics.items()}
+            for kpi, metrics in kpis.items()
+        }
+    return result
+
+
+def compare_methods(
+    methods: Mapping[str, GenerateFn],
+    test_records: Sequence[DriveTestRecord],
+    kpi_names: Sequence[str],
+    n_generations: int = 1,
+) -> Dict[str, FidelityResult]:
+    """Run every method over the same test set."""
+    return {
+        name: evaluate_method(name, gen, test_records, kpi_names, n_generations)
+        for name, gen in methods.items()
+    }
+
+
+def ranking(
+    results: Mapping[str, FidelityResult], kpi: str, metric: str
+) -> List[str]:
+    """Methods ordered best-first by the scenario-averaged metric (lower wins)."""
+    return sorted(results, key=lambda name: results[name].average(kpi, metric))

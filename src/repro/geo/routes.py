@@ -1,0 +1,172 @@
+"""Synthetic route generation over a region's road network.
+
+The paper's trajectories come from real walk/bus/tram/car journeys.  We
+synthesize comparable routes on a procedurally-generated road graph: a city
+street grid plus inter-city highways.  Routes are random walks over the graph
+(without immediate backtracking) so they exhibit the turns, loops, and
+multi-scenario composition real drive tests have.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from .coords import LocalFrame
+from .trajectory import Trajectory, from_waypoints
+
+
+@dataclass(frozen=True)
+class CitySpec:
+    """A synthetic city: a square street grid centred at (lat, lon)."""
+
+    name: str
+    center_lat: float
+    center_lon: float
+    half_extent_m: float = 2000.0
+    street_spacing_m: float = 250.0
+
+
+class RoadNetwork:
+    """Road graph over one or more cities, with optional highway links.
+
+    Nodes are ``(lat, lon)`` tuples; edges carry ``kind`` ("street" or
+    "highway") and ``length_m``.  Routes are random non-backtracking walks.
+    """
+
+    def __init__(self, cities: Sequence[CitySpec], connect_highways: bool = True) -> None:
+        if not cities:
+            raise ValueError("need at least one city")
+        self.cities = list(cities)
+        self.graph = nx.Graph()
+        self._city_nodes: Dict[str, List[Tuple[float, float]]] = {}
+        for city in self.cities:
+            self._add_city_grid(city)
+        if connect_highways and len(self.cities) > 1:
+            self._add_highways()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _add_city_grid(self, city: CitySpec) -> None:
+        frame = LocalFrame(city.center_lat, city.center_lon)
+        n_half = int(city.half_extent_m // city.street_spacing_m)
+        offsets = np.arange(-n_half, n_half + 1) * city.street_spacing_m
+        nodes: List[Tuple[float, float]] = []
+        grid: Dict[Tuple[int, int], Tuple[float, float]] = {}
+        for i, x in enumerate(offsets):
+            for j, y in enumerate(offsets):
+                lat, lon = frame.to_latlon(x, y)
+                node = (float(lat), float(lon))
+                grid[(i, j)] = node
+                nodes.append(node)
+                self.graph.add_node(node, city=city.name)
+        for (i, j), node in grid.items():
+            for di, dj in ((1, 0), (0, 1)):
+                neighbor = grid.get((i + di, j + dj))
+                if neighbor is not None:
+                    self.graph.add_edge(
+                        node, neighbor, kind="street", length_m=city.street_spacing_m
+                    )
+        self._city_nodes[city.name] = nodes
+
+    def _add_highways(self) -> None:
+        # Connect each pair of adjacent cities (by centroid distance order)
+        # with a straight highway sampled every ~500 m.
+        frame = LocalFrame(self.cities[0].center_lat, self.cities[0].center_lon)
+        for a, b in zip(self.cities[:-1], self.cities[1:]):
+            ax, ay = frame.to_xy(a.center_lat, a.center_lon)
+            bx, by = frame.to_xy(b.center_lat, b.center_lon)
+            start = self._nearest_node(a.name, b.center_lat, b.center_lon)
+            end = self._nearest_node(b.name, a.center_lat, a.center_lon)
+            sx, sy = frame.to_xy(*start)
+            ex, ey = frame.to_xy(*end)
+            length = math.hypot(ex - sx, ey - sy)
+            n_seg = max(2, int(length // 500.0))
+            prev = start
+            for k in range(1, n_seg + 1):
+                frac = k / n_seg
+                lat, lon = frame.to_latlon(sx + frac * (ex - sx), sy + frac * (ey - sy))
+                node = (float(lat), float(lon)) if k < n_seg else end
+                if node not in self.graph:
+                    self.graph.add_node(node, city=f"hw:{a.name}-{b.name}")
+                seg_len = length / n_seg
+                self.graph.add_edge(prev, node, kind="highway", length_m=seg_len)
+                prev = node
+
+    def _nearest_node(self, city_name: str, lat: float, lon: float) -> Tuple[float, float]:
+        nodes = self._city_nodes[city_name]
+        arr = np.array(nodes)
+        d2 = (arr[:, 0] - lat) ** 2 + (arr[:, 1] - lon) ** 2
+        return nodes[int(np.argmin(d2))]
+
+    # ------------------------------------------------------------------
+    # Route sampling
+    # ------------------------------------------------------------------
+    def random_walk_route(
+        self,
+        rng: np.random.Generator,
+        length_m: float,
+        city: Optional[str] = None,
+        kinds: Tuple[str, ...] = ("street",),
+        start_node: Optional[Tuple[float, float]] = None,
+    ) -> List[Tuple[float, float]]:
+        """Sample a non-backtracking walk of roughly ``length_m`` metres.
+
+        ``kinds`` restricts which edge kinds may be traversed (streets only
+        for city scenarios, highway+street for inter-city driving).
+        """
+        if start_node is None:
+            candidates = (
+                self._city_nodes[city] if city is not None else list(self.graph.nodes)
+            )
+            start_node = candidates[int(rng.integers(len(candidates)))]
+        route = [start_node]
+        covered = 0.0
+        prev = None
+        node = start_node
+        while covered < length_m:
+            neighbors = [
+                nb
+                for nb in self.graph.neighbors(node)
+                if self.graph.edges[node, nb]["kind"] in kinds
+            ]
+            if not neighbors:
+                break
+            options = [nb for nb in neighbors if nb != prev] or neighbors
+            nxt = options[int(rng.integers(len(options)))]
+            covered += self.graph.edges[node, nxt]["length_m"]
+            route.append(nxt)
+            prev, node = node, nxt
+        if len(route) < 2:
+            raise RuntimeError("random walk could not leave the start node")
+        return route
+
+    def intercity_route(
+        self, city_a: str, city_b: str, rng: np.random.Generator, city_detour_m: float = 1000.0
+    ) -> List[Tuple[float, float]]:
+        """City-A detour → highway to city B → city-B detour (complex route)."""
+        walk_a = self.random_walk_route(rng, city_detour_m, city=city_a)
+        walk_b = self.random_walk_route(rng, city_detour_m, city=city_b)
+        path = nx.shortest_path(
+            self.graph, walk_a[-1], walk_b[0], weight="length_m"
+        )
+        return walk_a + path[1:-1] + walk_b
+
+    def route_to_trajectory(
+        self,
+        route: Sequence[Tuple[float, float]],
+        speed_mps: float,
+        interval_s: float,
+        scenario: str,
+        rng: np.random.Generator,
+        speed_jitter: float = 0.15,
+    ) -> Trajectory:
+        """Convert a node route into a sampled trajectory."""
+        return from_waypoints(
+            route, speed_mps, interval_s, scenario=scenario, speed_jitter=speed_jitter, rng=rng
+        )

@@ -1,0 +1,15 @@
+"""Evaluation metrics: fidelity (MAE/DTW/HWD) and measurement efficiency."""
+
+from .fidelity import dtw, evaluate_series, hwd, mae, wasserstein_1d
+from .efficiency import fraction_used, measurement_efficiency, total_measurement_time_s
+
+__all__ = [
+    "mae",
+    "dtw",
+    "hwd",
+    "wasserstein_1d",
+    "evaluate_series",
+    "fraction_used",
+    "measurement_efficiency",
+    "total_measurement_time_s",
+]

@@ -1,0 +1,36 @@
+"""Measurement-efficiency accounting (paper §5.1).
+
+Because scenarios differ in movement speed, the paper measures training data
+in *time* (~distance/speed) rather than distance, and reports efficiency as
+the fraction of the available data used.  These helpers compute the
+time-weighted fraction for record collections and the headline
+"measurement efficiency" (1 - fraction used).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..radio.simulator import DriveTestRecord
+
+
+def total_measurement_time_s(records: Sequence[DriveTestRecord]) -> float:
+    """Total drive-test time represented by a set of records."""
+    return float(sum(r.trajectory.duration_s for r in records))
+
+
+def fraction_used(
+    used: Sequence[DriveTestRecord], available: Sequence[DriveTestRecord]
+) -> float:
+    """Time-weighted share of the available measurement data that was used."""
+    total = total_measurement_time_s(available)
+    if total <= 0:
+        raise ValueError("available data has zero duration")
+    return total_measurement_time_s(used) / total
+
+
+def measurement_efficiency(
+    used: Sequence[DriveTestRecord], available: Sequence[DriveTestRecord]
+) -> float:
+    """Paper's headline number: 1 - fraction of data needed (e.g. 0.9 = 90%)."""
+    return 1.0 - fraction_used(used, available)

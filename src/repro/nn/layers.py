@@ -1,0 +1,148 @@
+"""Basic neural-network layers built on the autodiff Tensor."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+
+class Linear(Module):
+    """Affine layer ``y = x @ W.T + b``.
+
+    Weights use Kaiming-uniform initialization (the GenDT networks use
+    leaky-ReLU activations throughout, per paper Figure 7).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features), rng))
+        if bias:
+            bound = 1.0 / np.sqrt(in_features)
+            self.bias: Optional[Parameter] = Parameter(rng.uniform(-bound, bound, size=out_features))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x.matmul(self.weight.T)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class LeakyReLU(Module):
+    """Leaky rectified linear unit."""
+
+    def __init__(self, negative_slope: float = 0.2) -> None:
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.leaky_relu(self.negative_slope)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Dropout(Module):
+    """Inverted dropout.
+
+    GenDT uses dropout both as a regularizer inside ResGen and, crucially, as
+    an MC-dropout uncertainty probe at generation time (paper §6.2.1), so the
+    layer supports being forced on via ``force_active`` independently of the
+    module's train/eval mode.
+    """
+
+    def __init__(self, p: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng
+        self.force_active = False
+
+    def forward(self, x: Tensor) -> Tensor:
+        active = self.training or self.force_active
+        if not active or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self.rng.random(x.shape) < keep) / keep
+        return x * Tensor(mask)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._layers: List[Module] = []
+        for i, module in enumerate(modules):
+            setattr(self, f"layer{i}", module)
+            self._layers.append(module)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+    def __iter__(self):
+        return iter(self._layers)
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+
+class MLP(Module):
+    """Fully-connected stack with leaky-ReLU activations.
+
+    ``hidden`` gives the sizes of the hidden layers; an optional dropout layer
+    is inserted before the final linear layer, matching the ResGen topology
+    (FC → LeakyReLU ×3 → Dropout → FC) when ``len(hidden) == 3``.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: Sequence[int],
+        out_features: int,
+        rng: np.random.Generator,
+        dropout: float = 0.0,
+        negative_slope: float = 0.2,
+    ) -> None:
+        super().__init__()
+        layers: List[Module] = []
+        prev = in_features
+        for width in hidden:
+            layers.append(Linear(prev, width, rng))
+            layers.append(LeakyReLU(negative_slope))
+            prev = width
+        if dropout > 0.0:
+            layers.append(Dropout(dropout, rng))
+        layers.append(Linear(prev, out_features, rng))
+        self.net = Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)
+
+    @property
+    def dropout_layers(self) -> List[Dropout]:
+        return [m for m in self.net if isinstance(m, Dropout)]

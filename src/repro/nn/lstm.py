@@ -1,0 +1,127 @@
+"""LSTM cells and sequence modules.
+
+Provides the plain :class:`LSTMCell`/:class:`LSTM` used by the discriminator
+and the LSTM-GNN baseline; GenDT's stochastic variant (SRNN layers, paper
+§4.3.4 and §A.2) lives in :mod:`repro.core.stochastic_lstm` and builds on
+:class:`LSTMCell`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor, concat, stack
+
+
+class LSTMCell(Module):
+    """Single LSTM cell with fused gate weights.
+
+    Gate layout along the output dimension is ``[input, forget, cell, output]``.
+    The forget-gate bias is initialized to 1, the standard trick to ease
+    gradient flow early in training.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_ih = Parameter(init.xavier_uniform((4 * hidden_size, input_size), rng))
+        self.weight_hh = Parameter(
+            np.concatenate(
+                [init.orthogonal((hidden_size, hidden_size), rng) for _ in range(4)], axis=0
+            )
+        )
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size : 2 * hidden_size] = 1.0
+        self.bias = Parameter(bias)
+
+    def forward(
+        self, x: Tensor, state: Tuple[Tensor, Tensor]
+    ) -> Tuple[Tensor, Tensor]:
+        """Advance one step: ``x`` is ``[B, input_size]``; returns ``(h, c)``."""
+        h_prev, c_prev = state
+        gates = x.matmul(self.weight_ih.T) + h_prev.matmul(self.weight_hh.T) + self.bias
+        hs = self.hidden_size
+        i = gates[:, 0 * hs : 1 * hs].sigmoid()
+        f = gates[:, 1 * hs : 2 * hs].sigmoid()
+        g = gates[:, 2 * hs : 3 * hs].tanh()
+        o = gates[:, 3 * hs : 4 * hs].sigmoid()
+        c = f * c_prev + i * g
+        h = o * c.tanh()
+        return h, c
+
+    def zero_state(self, batch_size: int) -> Tuple[Tensor, Tensor]:
+        zeros = np.zeros((batch_size, self.hidden_size))
+        return Tensor(zeros), Tensor(zeros.copy())
+
+
+class LSTM(Module):
+    """Unidirectional (optionally stacked) LSTM over a full sequence.
+
+    Input is ``[B, T, input_size]``; output is ``[B, T, hidden_size]`` (the
+    hidden states of the top layer at every step) plus the final state of
+    each layer.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator,
+        num_layers: int = 1,
+    ) -> None:
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        self._cells: List[LSTMCell] = []
+        for layer in range(num_layers):
+            cell = LSTMCell(input_size if layer == 0 else hidden_size, hidden_size, rng)
+            setattr(self, f"cell{layer}", cell)
+            self._cells.append(cell)
+
+    def forward(
+        self,
+        x: Tensor,
+        state: Optional[List[Tuple[Tensor, Tensor]]] = None,
+    ) -> Tuple[Tensor, List[Tuple[Tensor, Tensor]]]:
+        batch, steps, _ = x.shape
+        if state is None:
+            state = [cell.zero_state(batch) for cell in self._cells]
+        outputs: List[Tensor] = []
+        for t in range(steps):
+            inp = x[:, t, :]
+            new_state: List[Tuple[Tensor, Tensor]] = []
+            for layer, cell in enumerate(self._cells):
+                h, c = cell(inp, state[layer])
+                new_state.append((h, c))
+                inp = h
+            state = new_state
+            outputs.append(inp)
+        return stack(outputs, axis=1), state
+
+
+class LSTMRegressor(Module):
+    """LSTM followed by a per-step linear head: ``[B,T,in] -> [B,T,out]``."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        output_size: int,
+        rng: np.random.Generator,
+        num_layers: int = 1,
+    ) -> None:
+        super().__init__()
+        from .layers import Linear  # local import to avoid a cycle
+
+        self.lstm = LSTM(input_size, hidden_size, rng, num_layers=num_layers)
+        self.head = Linear(hidden_size, output_size, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        hidden, _ = self.lstm(x)
+        return self.head(hidden)

@@ -1,0 +1,39 @@
+"""Save and load model state dicts as .npz archives."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+from .module import Module
+
+PathLike = Union[str, Path]
+
+_META_KEY = "__meta__"
+
+
+def save_module(module: Module, path: PathLike, meta: Optional[Dict[str, Any]] = None) -> None:
+    """Serialize a module's parameters (plus optional JSON metadata) to .npz."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload: Dict[str, np.ndarray] = dict(module.state_dict())
+    if meta is not None:
+        payload[_META_KEY] = np.frombuffer(
+            json.dumps(meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
+        )
+    np.savez(path, **payload)
+
+
+def load_module(module: Module, path: PathLike) -> Optional[Dict[str, Any]]:
+    """Load parameters saved by :func:`save_module`; returns stored metadata."""
+    path = Path(path)
+    with np.load(path) as archive:
+        state = {k: archive[k] for k in archive.files if k != _META_KEY}
+        meta = None
+        if _META_KEY in archive.files:
+            meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+    module.load_state_dict(state)
+    return meta

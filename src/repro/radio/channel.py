@@ -1,0 +1,188 @@
+"""Link budget: from geometry + propagation to per-cell RSRP and link KPIs.
+
+The :class:`LinkBudget` computes, for a trajectory and a set of candidate
+cells, the full [T, N] matrix of per-cell RSRP (pathloss + antenna gain +
+correlated shadowing + fast fading), then derives the serving-cell KPI
+series: RSSI (sum of all received wideband powers plus noise, weighted by
+cell load), RSRQ, SINR and CQI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geo.coords import LocalFrame
+from ..geo.trajectory import Trajectory
+from .antenna import wrap_angle_deg
+from .cells import Cell, CellDeployment
+from .kpis import (
+    DEFAULT_N_RB,
+    cqi_from_sinr,
+    db_to_linear,
+    linear_to_db,
+    rsrq_db,
+    rssi_from_rsrp,
+    thermal_noise_dbm,
+)
+from .propagation import FastFadingModel, PathlossModel, ShadowingModel
+
+
+@dataclass
+class LinkBudgetConfig:
+    """Propagation + system configuration for the channel computation."""
+
+    pathloss: PathlossModel = field(default_factory=PathlossModel)
+    shadowing: ShadowingModel = field(default_factory=ShadowingModel)
+    fading: FastFadingModel = field(default_factory=FastFadingModel)
+    n_rb: int = DEFAULT_N_RB
+    bandwidth_hz: float = 9e6  # 50 RB * 180 kHz
+    noise_figure_db: float = 7.0
+    ue_antenna_gain_dbi: float = 0.0
+    #: AR(1) coefficient of the slowly-varying per-cell load process.
+    load_ar_coeff: float = 0.97
+    load_mean: float = 0.45
+    load_sigma: float = 0.18
+
+
+class LinkBudget:
+    """Computes per-cell received powers and link KPIs along a trajectory."""
+
+    def __init__(self, deployment: CellDeployment, config: Optional[LinkBudgetConfig] = None) -> None:
+        self.deployment = deployment
+        self.config = config or LinkBudgetConfig()
+
+    # ------------------------------------------------------------------
+    # Geometry helpers
+    # ------------------------------------------------------------------
+    def _bearings_from_cells(self, cells: Sequence[Cell], lat: np.ndarray, lon: np.ndarray) -> np.ndarray:
+        """Bearing (deg from north) from every cell to every UE position, [T, N]."""
+        frame = self.deployment.frame
+        ux, uy = frame.to_xy(lat, lon)
+        cx = np.array([frame.to_xy(c.lat, c.lon)[0] for c in cells], dtype=float)
+        cy = np.array([frame.to_xy(c.lat, c.lon)[1] for c in cells], dtype=float)
+        dx = ux[:, None] - cx[None, :]
+        dy = uy[:, None] - cy[None, :]
+        return np.degrees(np.arctan2(dx, dy)) % 360.0
+
+    def _distances(self, cells: Sequence[Cell], lat: np.ndarray, lon: np.ndarray) -> np.ndarray:
+        frame = self.deployment.frame
+        ux, uy = frame.to_xy(lat, lon)
+        cx = np.array([frame.to_xy(c.lat, c.lon)[0] for c in cells], dtype=float)
+        cy = np.array([frame.to_xy(c.lat, c.lon)[1] for c in cells], dtype=float)
+        return np.hypot(ux[:, None] - cx[None, :], uy[:, None] - cy[None, :])
+
+    # ------------------------------------------------------------------
+    # Received power
+    # ------------------------------------------------------------------
+    def per_cell_rsrp(
+        self,
+        trajectory: Trajectory,
+        cells: Sequence[Cell],
+        clutter: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Per-cell RSRP over the trajectory, shape [T, N] in dBm.
+
+        ``clutter`` is the per-timestep clutter factor in [0, 1] from the
+        environment raster at the UE location.
+        """
+        cfg = self.config
+        steps = len(trajectory)
+        n = len(cells)
+        distances = self._distances(cells, trajectory.lat, trajectory.lon)
+        bearings = self._bearings_from_cells(cells, trajectory.lat, trajectory.lon)
+        clutter = np.asarray(clutter, dtype=float)
+        if clutter.shape != (steps,):
+            raise ValueError(f"clutter must be [T]={steps}, got {clutter.shape}")
+
+        pathloss = cfg.pathloss.pathloss_db(distances, clutter[:, None])
+        step_dist = trajectory.step_distances_m()
+        speeds = trajectory.speeds_mps()
+        per_re_offset = 10.0 * np.log10(12.0 * cfg.n_rb)
+
+        shadow = cfg.shadowing.sample_along_multi(step_dist, n, rng, clutter=clutter)
+        p_max = np.array([c.p_max_dbm for c in cells])
+        directions = np.array([c.direction_deg for c in cells])
+        gain = np.empty((steps, n))
+        for j, cell in enumerate(cells):
+            gain[:, j] = cell.antenna.gain_dbi(
+                wrap_angle_deg(bearings[:, j] - directions[j])
+            )
+        fading = np.column_stack(
+            [cfg.fading.sample(steps, rng, speed_mps=speeds) for _ in range(n)]
+        )
+        return (
+            p_max[None, :]
+            - per_re_offset
+            + gain
+            + cfg.ue_antenna_gain_dbi
+            - pathloss
+            + shadow
+            + fading
+        )
+
+    def sample_cell_loads(
+        self, n_cells: int, steps: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Slowly-varying per-cell load in [0.05, 0.95], shape [T, N].
+
+        Cell load is the paper's canonical example of context the model does
+        NOT see — it is the "noise" the generator must absorb.
+        """
+        cfg = self.config
+        loads = np.empty((steps, n_cells))
+        state = rng.normal(0.0, 1.0, size=n_cells)
+        for t in range(steps):
+            state = cfg.load_ar_coeff * state + np.sqrt(1 - cfg.load_ar_coeff**2) * rng.normal(
+                0.0, 1.0, size=n_cells
+            )
+            loads[t] = np.clip(cfg.load_mean + cfg.load_sigma * state, 0.05, 0.95)
+        return loads
+
+    # ------------------------------------------------------------------
+    # KPI derivation
+    # ------------------------------------------------------------------
+    def link_kpis(
+        self,
+        rsrp_matrix_dbm: np.ndarray,
+        serving_idx: np.ndarray,
+        loads: np.ndarray,
+    ) -> Dict[str, np.ndarray]:
+        """Derive serving RSRP/RSSI/RSRQ/SINR/CQI series from the RSRP matrix.
+
+        Interference is the load-weighted sum of non-serving wideband powers;
+        RSSI additionally includes the serving cell's own wideband power and
+        thermal noise.
+        """
+        cfg = self.config
+        rsrp = np.asarray(rsrp_matrix_dbm, dtype=float)
+        steps, n = rsrp.shape
+        serving_idx = np.asarray(serving_idx, dtype=int)
+        t_idx = np.arange(steps)
+
+        wideband_mw = db_to_linear(rssi_from_rsrp(rsrp, cfg.n_rb))
+        noise_mw = db_to_linear(thermal_noise_dbm(cfg.bandwidth_hz, cfg.noise_figure_db))
+
+        serving_rsrp = rsrp[t_idx, serving_idx]
+        serving_wb_mw = wideband_mw[t_idx, serving_idx]
+
+        mask = np.ones((steps, n), dtype=bool)
+        mask[t_idx, serving_idx] = False
+        interference_mw = np.sum(wideband_mw * loads * mask, axis=1)
+
+        rssi_mw = serving_wb_mw + interference_mw + noise_mw
+        rssi_dbm = linear_to_db(rssi_mw)
+        rsrq = rsrq_db(serving_rsrp, rssi_dbm, cfg.n_rb)
+        sinr_db = linear_to_db(serving_wb_mw / (interference_mw + noise_mw))
+        cqi = cqi_from_sinr(np.clip(sinr_db, -20.0, 40.0))
+
+        return {
+            "rsrp": serving_rsrp,
+            "rssi": rssi_dbm,
+            "rsrq": np.clip(rsrq, -19.5, -3.0),
+            "sinr": np.clip(sinr_db, -10.0, 30.0),
+            "cqi": np.asarray(cqi, dtype=float),
+        }

@@ -1,0 +1,122 @@
+"""Link-bandwidth prediction from radio KPIs (paper §C.2, after LinkForecast).
+
+LinkForecast (Yue et al.) identified five KPIs with significant correlation
+to achievable link bandwidth — RSRP, RSRQ, CQI, a handover indicator, and
+the block error rate — and predicted bandwidth from them.  The paper lists
+this as a GenDT use case: several of the KPIs are exactly what GenDT
+generates, so bandwidth can be forecast for routes never driven.
+
+We implement the predictor (random-forest-like ensemble of small MLPs to
+keep everything on the in-repo NN substrate) and evaluate it against the
+simulator's throughput ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..radio.simulator import DriveTestRecord
+
+#: KPI features used by the predictor.
+BANDWIDTH_FEATURES = ("rsrp", "rsrq", "cqi", "handover", "per")
+
+
+def handover_indicator(serving_cell_id: np.ndarray, window: int = 3) -> np.ndarray:
+    """1.0 for samples within ``window`` steps of a serving-cell change."""
+    ids = np.asarray(serving_cell_id)
+    changes = np.zeros(len(ids))
+    change_points = np.nonzero(np.diff(ids) != 0)[0] + 1
+    for point in change_points:
+        lo = max(0, point - window)
+        hi = min(len(ids), point + window + 1)
+        changes[lo:hi] = 1.0
+    return changes
+
+
+def bandwidth_features(record: DriveTestRecord) -> np.ndarray:
+    """Assemble the 5-KPI feature matrix [T, 5] from a record."""
+    if "per" not in record.qoe:
+        raise ValueError("record lacks PER (simulate with with_qoe=True)")
+    return np.column_stack(
+        [
+            record.kpi["rsrp"],
+            record.kpi["rsrq"],
+            record.kpi["cqi"],
+            handover_indicator(record.serving_cell_id),
+            record.qoe["per"],
+        ]
+    )
+
+
+@dataclass
+class LinkBandwidthPredictor:
+    """Bagged MLP ensemble: 5 KPI features -> downlink bandwidth (Mbps)."""
+
+    n_members: int = 4
+    hidden: Tuple[int, ...] = (32,)
+    epochs: int = 40
+    lr: float = 3e-3
+    minibatch: int = 256
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.rng = np.random.default_rng(self.seed)
+        self.members: List[nn.MLP] = []
+        self._x_mean: Optional[np.ndarray] = None
+        self._x_std: Optional[np.ndarray] = None
+        self._y_mean: float = 0.0
+        self._y_std: float = 1.0
+
+    def fit(self, records: Sequence[DriveTestRecord]) -> None:
+        x = np.concatenate([bandwidth_features(r) for r in records])
+        y = np.concatenate([r.qoe["throughput_mbps"] for r in records])[:, None]
+        self._x_mean = x.mean(axis=0)
+        self._x_std = np.maximum(x.std(axis=0), 1e-6)
+        self._y_mean = float(y.mean())
+        self._y_std = max(float(y.std()), 1e-6)
+        xn = (x - self._x_mean) / self._x_std
+        yn = (y - self._y_mean) / self._y_std
+        n = len(xn)
+        self.members = []
+        for _ in range(self.n_members):
+            # Bagging: each member sees a bootstrap resample.
+            sample = self.rng.integers(0, n, size=n)
+            member = nn.MLP(x.shape[1], list(self.hidden), 1, self.rng)
+            optimizer = nn.Adam(member.parameters(), lr=self.lr)
+            for _ in range(self.epochs):
+                order = self.rng.permutation(n)
+                for start in range(0, n, self.minibatch):
+                    idx = sample[order[start : start + self.minibatch]]
+                    loss = nn.mse_loss(member(nn.Tensor(xn[idx])), nn.Tensor(yn[idx]))
+                    optimizer.zero_grad()
+                    loss.backward()
+                    optimizer.step()
+            self.members.append(member)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Bandwidth series (Mbps) from a [T, 5] feature matrix."""
+        if not self.members:
+            raise RuntimeError("fit before predict")
+        xn = (features - self._x_mean) / self._x_std
+        with nn.no_grad():
+            preds = np.stack(
+                [m(nn.Tensor(xn)).numpy()[:, 0] for m in self.members]
+            )
+        mean = preds.mean(axis=0) * self._y_std + self._y_mean
+        return np.maximum(mean, 0.0)
+
+    def predict_interval(self, features: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Ensemble spread as a rough (lower, upper) bandwidth interval."""
+        if not self.members:
+            raise RuntimeError("fit before predict")
+        xn = (features - self._x_mean) / self._x_std
+        with nn.no_grad():
+            preds = np.stack(
+                [m(nn.Tensor(xn)).numpy()[:, 0] for m in self.members]
+            )
+        preds = preds * self._y_std + self._y_mean
+        return np.maximum(preds.min(axis=0), 0.0), np.maximum(preds.max(axis=0), 0.0)

@@ -1,0 +1,96 @@
+"""Cell-load estimation from drive-test KPIs (paper §C.2, after [9, 46]).
+
+RSRQ couples the serving cell's reference-signal power to the total received
+wideband power, which includes load-weighted interference from neighbour
+cells — so (RSRQ, SINR) carry information about how loaded the surrounding
+network is.  The paper lists this as a use case GenDT can serve without a
+drive test: generate RSRQ/SINR for a route, feed the estimator.
+
+We implement the estimator as a small MLP regressor trained against the
+simulator's ground-truth serving-cell load (the paper could not validate
+this use case for lack of ground truth; our substrate has it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..radio.simulator import DriveTestRecord
+
+#: KPI features the estimator consumes, in order.
+LOAD_FEATURES = ("rsrq", "sinr")
+
+
+@dataclass
+class CellLoadEstimator:
+    """MLP regressor: (RSRQ, SINR) -> serving-cell load in [0, 1]."""
+
+    hidden: Tuple[int, ...] = (32, 32)
+    epochs: int = 60
+    lr: float = 1e-3
+    minibatch: int = 256
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.rng = np.random.default_rng(self.seed)
+        self.net: Optional[nn.MLP] = None
+        self._x_mean: Optional[np.ndarray] = None
+        self._x_std: Optional[np.ndarray] = None
+
+    @staticmethod
+    def _features(kpis: Dict[str, np.ndarray]) -> np.ndarray:
+        return np.column_stack([kpis[name] for name in LOAD_FEATURES])
+
+    def fit(self, records: Sequence[DriveTestRecord], loads: Sequence[np.ndarray]) -> None:
+        """Train on records paired with ground-truth serving-load series."""
+        if len(records) != len(loads):
+            raise ValueError("records and loads must align")
+        x = np.concatenate([self._features(r.kpi) for r in records])
+        y = np.concatenate([np.asarray(l, dtype=float) for l in loads])[:, None]
+        if len(x) != len(y):
+            raise ValueError("KPI and load sample counts differ")
+        self._x_mean = x.mean(axis=0)
+        self._x_std = np.maximum(x.std(axis=0), 1e-6)
+        xn = (x - self._x_mean) / self._x_std
+        self.net = nn.MLP(x.shape[1], list(self.hidden), 1, self.rng)
+        optimizer = nn.Adam(self.net.parameters(), lr=self.lr)
+        n = len(xn)
+        for _ in range(self.epochs):
+            order = self.rng.permutation(n)
+            for start in range(0, n, self.minibatch):
+                idx = order[start : start + self.minibatch]
+                pred = self.net(nn.Tensor(xn[idx])).sigmoid()
+                loss = nn.mse_loss(pred, nn.Tensor(y[idx]))
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+
+    def predict(self, kpis: Dict[str, np.ndarray]) -> np.ndarray:
+        """Estimated load series in [0, 1] from KPI series."""
+        if self.net is None:
+            raise RuntimeError("fit before predict")
+        x = (self._features(kpis) - self._x_mean) / self._x_std
+        with nn.no_grad():
+            out = self.net(nn.Tensor(x)).sigmoid().numpy()
+        return out[:, 0]
+
+    def predict_from_matrix(self, kpi_matrix: np.ndarray, kpi_names: Sequence[str]) -> np.ndarray:
+        """Same, from a [T, n] generated-KPI matrix with named columns."""
+        kpis = {name: kpi_matrix[:, i] for i, name in enumerate(kpi_names)}
+        missing = [f for f in LOAD_FEATURES if f not in kpis]
+        if missing:
+            raise ValueError(f"matrix lacks required KPIs: {missing}")
+        return self.predict(kpis)
+
+
+def serving_load_ground_truth(
+    record: DriveTestRecord, loads_matrix: np.ndarray, candidate_ids: Sequence[int]
+) -> np.ndarray:
+    """Extract the serving cell's load series from a [T, N] load matrix."""
+    id_to_col = {cid: j for j, cid in enumerate(candidate_ids)}
+    cols = np.array([id_to_col[int(c)] for c in record.serving_cell_id])
+    return loads_matrix[np.arange(len(record)), cols]

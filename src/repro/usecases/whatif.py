@@ -1,0 +1,126 @@
+"""What-if analysis on the network context (paper §C.2).
+
+GenDT conditions on the operator's cell database, so deployment changes can
+be evaluated *before* building them: edit the deployment, regenerate the KPI
+series for the routes of interest, and compare.  This module provides the
+deployment-editing operations the paper's examples mention (new cells,
+power changes, decommissioning) and a small study runner that swaps the
+edited deployment into a trained model's context pipeline, regenerates, and
+restores the original.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..geo.trajectory import Trajectory
+from ..radio.cells import Cell, CellDeployment
+from ..core.model import GenDT
+
+
+# ----------------------------------------------------------------------
+# Deployment edits
+# ----------------------------------------------------------------------
+def with_power_offset(
+    deployment: CellDeployment, offset_db: float, cell_ids: Optional[Sequence[int]] = None
+) -> CellDeployment:
+    """Return a deployment with ``p_max`` shifted for the given cells (all by default)."""
+    targets = set(cell_ids) if cell_ids is not None else None
+    cells = [
+        replace(c, p_max_dbm=c.p_max_dbm + offset_db)
+        if targets is None or c.cell_id in targets
+        else c
+        for c in deployment.cells
+    ]
+    return CellDeployment(cells, deployment.frame)
+
+
+def with_new_site(
+    deployment: CellDeployment,
+    lat: float,
+    lon: float,
+    p_max_dbm: float = 43.0,
+    sectors: int = 3,
+    base_direction_deg: float = 0.0,
+) -> CellDeployment:
+    """Return a deployment with a new ``sectors``-sector site added."""
+    next_cell = max(c.cell_id for c in deployment.cells) + 1
+    next_site = max(c.site_id for c in deployment.cells) + 1
+    new_cells = [
+        Cell(
+            cell_id=next_cell + s,
+            lat=lat,
+            lon=lon,
+            p_max_dbm=p_max_dbm,
+            direction_deg=(base_direction_deg + s * 360.0 / sectors) % 360.0,
+            site_id=next_site,
+        )
+        for s in range(sectors)
+    ]
+    return CellDeployment(list(deployment.cells) + new_cells, deployment.frame)
+
+
+def without_cells(deployment: CellDeployment, cell_ids: Sequence[int]) -> CellDeployment:
+    """Return a deployment with the given cells decommissioned."""
+    removed = set(cell_ids)
+    remaining = [c for c in deployment.cells if c.cell_id not in removed]
+    if not remaining:
+        raise ValueError("cannot remove every cell")
+    return CellDeployment(remaining, deployment.frame)
+
+
+# ----------------------------------------------------------------------
+# Study runner
+# ----------------------------------------------------------------------
+@contextlib.contextmanager
+def deployment_override(model: GenDT, deployment: CellDeployment) -> Iterator[None]:
+    """Temporarily swap the deployment the model's context pipeline reads."""
+    region = model.region
+    original = region.deployment
+    region.deployment = deployment
+    model.context.network.deployment = deployment
+    try:
+        yield
+    finally:
+        region.deployment = original
+        model.context.network.deployment = original
+
+
+@dataclass
+class WhatIfOutcome:
+    """Generated KPI series under baseline and edited deployments."""
+
+    kpi_names: List[str]
+    baseline: np.ndarray    #: [T, n_kpis]
+    edited: np.ndarray      #: [T, n_kpis]
+
+    def mean_delta(self, kpi: str) -> float:
+        """Mean change of one KPI (edited - baseline)."""
+        idx = self.kpi_names.index(kpi)
+        return float(self.edited[:, idx].mean() - self.baseline[:, idx].mean())
+
+    def summary(self) -> Dict[str, float]:
+        return {kpi: self.mean_delta(kpi) for kpi in self.kpi_names}
+
+
+def run_what_if(
+    model: GenDT,
+    trajectory: Trajectory,
+    edited_deployment: CellDeployment,
+    n_samples: int = 3,
+) -> WhatIfOutcome:
+    """Generate under baseline and edited deployments (averaged samples)."""
+    baseline = np.mean(
+        [model.generate(trajectory) for _ in range(n_samples)], axis=0
+    )
+    with deployment_override(model, edited_deployment):
+        edited = np.mean(
+            [model.generate(trajectory) for _ in range(n_samples)], axis=0
+        )
+    return WhatIfOutcome(
+        kpi_names=list(model.kpi_names), baseline=baseline, edited=edited
+    )

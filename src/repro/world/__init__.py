@@ -1,0 +1,30 @@
+"""Environment substrate: land use, points of interest, synthetic regions."""
+
+from .attributes import (
+    ENV_ATTRIBUTES,
+    LAND_USE_CLASSES,
+    LAND_USE_CLUTTER,
+    N_ENV_ATTRIBUTES,
+    N_LAND_USE,
+    N_POI,
+    POI_CLASSES,
+)
+from .landuse import LandUseRaster, generate_land_use
+from .poi import PoiIndex, generate_pois
+from .region import Region, build_region
+
+__all__ = [
+    "ENV_ATTRIBUTES",
+    "LAND_USE_CLASSES",
+    "LAND_USE_CLUTTER",
+    "POI_CLASSES",
+    "N_ENV_ATTRIBUTES",
+    "N_LAND_USE",
+    "N_POI",
+    "LandUseRaster",
+    "generate_land_use",
+    "PoiIndex",
+    "generate_pois",
+    "Region",
+    "build_region",
+]

@@ -1,0 +1,76 @@
+"""The 26 environment-context attributes of paper Table 11.
+
+Two families:
+
+* 12 **land-use** classes (Copernicus Urban Atlas in the paper) — expressed
+  as the percentage of area each class covers within a radius of the device;
+* 14 **points of interest** classes (OpenStreetMap in the paper) — expressed
+  as the count of each PoI type within the radius.
+
+The constants here fix the canonical ordering of the 26-dimensional
+environment feature vector used throughout the context pipeline, the
+procedural world generator, and GenDT's ResGen input.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+#: Land-use classes (fraction-of-area features).  Order is canonical.
+LAND_USE_CLASSES: List[str] = [
+    "continuous_urban",
+    "high_dense_urban",
+    "medium_dense_urban",
+    "low_dense_urban",
+    "very_low_dense_urban",
+    "isolated_structures",
+    "green_urban",
+    "industrial_commercial",
+    "air_sea_ports",
+    "leisure_facilities",
+    "barren_lands",
+    "sea",
+]
+
+#: PoI classes (count features).  Order is canonical.
+POI_CLASSES: List[str] = [
+    "tourism",
+    "cafe",
+    "parking",
+    "restaurant",
+    "post_police",
+    "traffic_signal",
+    "office",
+    "public_transport",
+    "shop",
+    "primary_roads",
+    "secondary_roads",
+    "motorways",
+    "railway_stations",
+    "tram_stops",
+]
+
+ENV_ATTRIBUTES: List[str] = LAND_USE_CLASSES + POI_CLASSES
+
+N_LAND_USE = len(LAND_USE_CLASSES)
+N_POI = len(POI_CLASSES)
+N_ENV_ATTRIBUTES = len(ENV_ATTRIBUTES)
+
+assert N_ENV_ATTRIBUTES == 26, "paper Table 11 lists 26 attributes"
+
+#: How strongly each land-use class obstructs propagation; drives the
+#: clutter factor used by the pathloss/shadowing models (0 = open, 1 = dense).
+LAND_USE_CLUTTER: dict = {
+    "continuous_urban": 1.00,
+    "high_dense_urban": 0.85,
+    "medium_dense_urban": 0.65,
+    "low_dense_urban": 0.45,
+    "very_low_dense_urban": 0.30,
+    "isolated_structures": 0.20,
+    "green_urban": 0.15,
+    "industrial_commercial": 0.55,
+    "air_sea_ports": 0.25,
+    "leisure_facilities": 0.20,
+    "barren_lands": 0.05,
+    "sea": 0.00,
+}

@@ -1,0 +1,168 @@
+"""Procedural land-use raster over a region.
+
+Substitutes the Copernicus Urban Atlas: a coarse grid over the region where
+each pixel holds a distribution over the 12 land-use classes.  City cores are
+continuous/high-dense urban, density decays with distance from each city
+centre, highway corridors are low-density/barren, and smooth spatial noise
+breaks up the radial symmetry so the raster has realistic texture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geo.coords import LocalFrame
+from ..geo.routes import CitySpec
+from .attributes import LAND_USE_CLASSES, LAND_USE_CLUTTER, N_LAND_USE
+
+
+def _smooth_noise(shape: Tuple[int, int], rng: np.random.Generator, passes: int = 4) -> np.ndarray:
+    """Cheap smooth random field in [0,1] via repeated box blurs of white noise."""
+    field = rng.random(shape)
+    for _ in range(passes):
+        padded = np.pad(field, 1, mode="edge")
+        field = (
+            padded[:-2, :-2] + padded[:-2, 1:-1] + padded[:-2, 2:]
+            + padded[1:-1, :-2] + padded[1:-1, 1:-1] + padded[1:-1, 2:]
+            + padded[2:, :-2] + padded[2:, 1:-1] + padded[2:, 2:]
+        ) / 9.0
+    lo, hi = field.min(), field.max()
+    return (field - lo) / max(hi - lo, 1e-12)
+
+
+@dataclass
+class LandUseRaster:
+    """Grid of land-use class fractions covering a rectangular region.
+
+    ``fractions`` has shape [rows, cols, N_LAND_USE] with each pixel summing
+    to 1.  The raster answers two queries used by the rest of the system:
+    class fractions within a radius of a point (environment context), and
+    the scalar clutter factor at a point (propagation).
+    """
+
+    frame: LocalFrame
+    x_min: float
+    y_min: float
+    pixel_m: float
+    fractions: np.ndarray
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.fractions.shape[:2]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _pixel_of_xy(self, x: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        rows, cols = self.shape
+        col = np.clip(((x - self.x_min) / self.pixel_m).astype(int), 0, cols - 1)
+        row = np.clip(((y - self.y_min) / self.pixel_m).astype(int), 0, rows - 1)
+        return row, col
+
+    def fractions_at(self, lat, lon) -> np.ndarray:
+        """Land-use fractions at point(s); shape [..., N_LAND_USE]."""
+        x, y = self.frame.to_xy(lat, lon)
+        row, col = self._pixel_of_xy(np.atleast_1d(x), np.atleast_1d(y))
+        out = self.fractions[row, col]
+        if np.asarray(lat).ndim == 0:
+            return out[0]
+        return out
+
+    def fractions_within(self, lat: float, lon: float, radius_m: float) -> np.ndarray:
+        """Mean class fractions over pixels within ``radius_m`` of the point.
+
+        This is the paper's land-use environment context: percentage area of
+        each class around the device location.
+        """
+        x, y = self.frame.to_xy(lat, lon)
+        x, y = float(x), float(y)
+        rows, cols = self.shape
+        r_pix = max(1, int(np.ceil(radius_m / self.pixel_m)))
+        row0, col0 = self._pixel_of_xy(np.array([x]), np.array([y]))
+        row0, col0 = int(row0[0]), int(col0[0])
+        r_lo, r_hi = max(0, row0 - r_pix), min(rows, row0 + r_pix + 1)
+        c_lo, c_hi = max(0, col0 - r_pix), min(cols, col0 + r_pix + 1)
+        block = self.fractions[r_lo:r_hi, c_lo:c_hi]
+        # Circular mask over the block.
+        rr = (np.arange(r_lo, r_hi) + 0.5) * self.pixel_m + self.y_min
+        cc = (np.arange(c_lo, c_hi) + 0.5) * self.pixel_m + self.x_min
+        dist2 = (rr[:, None] - y) ** 2 + (cc[None, :] - x) ** 2
+        mask = dist2 <= radius_m**2
+        if not mask.any():
+            return block.reshape(-1, N_LAND_USE).mean(axis=0)
+        return block[mask].mean(axis=0)
+
+    def clutter_at(self, lat, lon) -> np.ndarray:
+        """Scalar clutter factor in [0, 1] (propagation input) at point(s)."""
+        fractions = self.fractions_at(lat, lon)
+        weights = np.array([LAND_USE_CLUTTER[c] for c in LAND_USE_CLASSES])
+        return fractions @ weights
+
+
+def generate_land_use(
+    frame: LocalFrame,
+    cities: Sequence[CitySpec],
+    extent_m: float,
+    rng: np.random.Generator,
+    pixel_m: float = 100.0,
+    highway_waypoints: Optional[Sequence[Sequence[Tuple[float, float]]]] = None,
+) -> LandUseRaster:
+    """Build a procedural raster covering ``[-extent, extent]²`` in the frame."""
+    n = int(np.ceil(2 * extent_m / pixel_m))
+    x_min = y_min = -extent_m
+    centers_xy = [frame.to_xy(c.center_lat, c.center_lon) for c in cities]
+    xs = (np.arange(n) + 0.5) * pixel_m + x_min
+    ys = (np.arange(n) + 0.5) * pixel_m + y_min
+    gx, gy = np.meshgrid(xs, ys)  # [row=y, col=x]
+
+    # Urban-ness: max over cities of a radial decay, perturbed by smooth noise.
+    urban = np.zeros((n, n))
+    for (cx, cy), city in zip(centers_xy, cities):
+        dist = np.hypot(gx - float(cx), gy - float(cy))
+        urban = np.maximum(urban, np.exp(-(dist / (0.8 * city.half_extent_m)) ** 2))
+    urban = np.clip(urban + 0.25 * (_smooth_noise((n, n), rng) - 0.5), 0.0, 1.0)
+
+    texture = _smooth_noise((n, n), rng)
+    industry = _smooth_noise((n, n), rng)
+
+    fractions = np.zeros((n, n, N_LAND_USE))
+    idx = {name: i for i, name in enumerate(LAND_USE_CLASSES)}
+    # Allocate density classes by urban-ness bands, softened by texture.
+    fractions[..., idx["continuous_urban"]] = np.clip(urban - 0.75, 0, 1) * 4.0
+    fractions[..., idx["high_dense_urban"]] = np.clip(0.9 - np.abs(urban - 0.7) * 3.0, 0, 1)
+    fractions[..., idx["medium_dense_urban"]] = np.clip(0.9 - np.abs(urban - 0.5) * 3.0, 0, 1)
+    fractions[..., idx["low_dense_urban"]] = np.clip(0.9 - np.abs(urban - 0.3) * 3.0, 0, 1)
+    fractions[..., idx["very_low_dense_urban"]] = np.clip(0.8 - np.abs(urban - 0.15) * 3.5, 0, 1)
+    fractions[..., idx["isolated_structures"]] = np.clip(0.4 - urban, 0, 1) * texture
+    fractions[..., idx["green_urban"]] = 0.35 * texture * np.clip(urban, 0.05, 1.0)
+    fractions[..., idx["industrial_commercial"]] = 0.5 * industry * np.clip(urban - 0.2, 0, 1)
+    fractions[..., idx["leisure_facilities"]] = 0.12 * (1.0 - np.abs(texture - 0.5) * 2.0)
+    fractions[..., idx["barren_lands"]] = np.clip(0.5 - urban, 0, 1) * (1.0 - texture)
+    fractions[..., idx["air_sea_ports"]] = 0.04 * np.clip(industry - 0.7, 0, 1)
+    fractions[..., idx["sea"]] = 0.0
+
+    # Highways carve a low-density corridor.
+    if highway_waypoints:
+        for polyline in highway_waypoints:
+            lats = np.array([p[0] for p in polyline])
+            lons = np.array([p[1] for p in polyline])
+            hx, hy = frame.to_xy(lats, lons)
+            for k in range(len(hx) - 1):
+                seg_len = np.hypot(hx[k + 1] - hx[k], hy[k + 1] - hy[k])
+                for frac in np.linspace(0, 1, max(2, int(seg_len // pixel_m))):
+                    px = hx[k] + frac * (hx[k + 1] - hx[k])
+                    py = hy[k] + frac * (hy[k + 1] - hy[k])
+                    dist = np.hypot(gx - px, gy - py)
+                    corridor = dist < 2 * pixel_m
+                    fractions[corridor, idx["barren_lands"]] += 0.6
+                    fractions[corridor, idx["very_low_dense_urban"]] += 0.2
+
+    totals = fractions.sum(axis=-1, keepdims=True)
+    empty = totals[..., 0] < 1e-9
+    fractions[empty, idx["barren_lands"]] = 1.0
+    totals = fractions.sum(axis=-1, keepdims=True)
+    fractions /= totals
+    return LandUseRaster(frame=frame, x_min=x_min, y_min=y_min, pixel_m=pixel_m, fractions=fractions)

@@ -1,0 +1,138 @@
+"""Procedural points-of-interest layer.
+
+Substitutes the OpenStreetMap Overpass queries: PoIs of each class are drawn
+from inhomogeneous Poisson processes whose intensity tracks urban-ness (cafes
+and shops cluster in city cores, motorway nodes follow highway corridors).
+The query the context pipeline needs is "count of each PoI class within a
+radius of a point", served by a per-class uniform grid index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geo.coords import LocalFrame
+from .attributes import POI_CLASSES
+from .landuse import LandUseRaster
+
+#: Baseline PoI intensity per km² at full urban-ness, per class.
+_POI_URBAN_INTENSITY: Dict[str, float] = {
+    "tourism": 4.0,
+    "cafe": 14.0,
+    "parking": 10.0,
+    "restaurant": 16.0,
+    "post_police": 2.5,
+    "traffic_signal": 20.0,
+    "office": 12.0,
+    "public_transport": 10.0,
+    "shop": 22.0,
+    "primary_roads": 8.0,
+    "secondary_roads": 12.0,
+    "motorways": 0.5,
+    "railway_stations": 1.0,
+    "tram_stops": 5.0,
+}
+
+#: Classes whose intensity follows highway corridors rather than urban cores.
+_HIGHWAY_CLASSES = ("motorways", "parking")
+
+
+class PoiIndex:
+    """Spatially-indexed PoI points for radius-count queries."""
+
+    def __init__(self, frame: LocalFrame, points_xy: Dict[str, np.ndarray], cell_m: float = 500.0) -> None:
+        self.frame = frame
+        self.cell_m = cell_m
+        self._points: Dict[str, np.ndarray] = {}
+        self._buckets: Dict[str, Dict[Tuple[int, int], np.ndarray]] = {}
+        for cls in POI_CLASSES:
+            pts = np.asarray(points_xy.get(cls, np.zeros((0, 2))), dtype=float).reshape(-1, 2)
+            self._points[cls] = pts
+            buckets: Dict[Tuple[int, int], List[int]] = {}
+            for i, (x, y) in enumerate(pts):
+                key = (int(np.floor(x / cell_m)), int(np.floor(y / cell_m)))
+                buckets.setdefault(key, []).append(i)
+            self._buckets[cls] = {k: np.asarray(v) for k, v in buckets.items()}
+
+    def total_points(self, cls: Optional[str] = None) -> int:
+        if cls is not None:
+            return len(self._points[cls])
+        return sum(len(p) for p in self._points.values())
+
+    def count_within(self, lat: float, lon: float, radius_m: float, cls: str) -> int:
+        """Number of PoIs of class ``cls`` within ``radius_m`` of the point."""
+        x, y = self.frame.to_xy(lat, lon)
+        x, y = float(x), float(y)
+        pts = self._points[cls]
+        if len(pts) == 0:
+            return 0
+        k_r = int(np.ceil(radius_m / self.cell_m))
+        kx0 = int(np.floor(x / self.cell_m))
+        ky0 = int(np.floor(y / self.cell_m))
+        count = 0
+        buckets = self._buckets[cls]
+        r2 = radius_m**2
+        for kx in range(kx0 - k_r, kx0 + k_r + 1):
+            for ky in range(ky0 - k_r, ky0 + k_r + 1):
+                idx = buckets.get((kx, ky))
+                if idx is None:
+                    continue
+                sel = pts[idx]
+                count += int(np.sum((sel[:, 0] - x) ** 2 + (sel[:, 1] - y) ** 2 <= r2))
+        return count
+
+    def counts_within(self, lat: float, lon: float, radius_m: float) -> np.ndarray:
+        """Counts for all classes in canonical order, shape [N_POI]."""
+        return np.array(
+            [self.count_within(lat, lon, radius_m, cls) for cls in POI_CLASSES], dtype=float
+        )
+
+
+def generate_pois(
+    land_use: LandUseRaster,
+    extent_m: float,
+    rng: np.random.Generator,
+    highway_waypoints: Optional[Sequence[Sequence[Tuple[float, float]]]] = None,
+    intensity_scale: float = 1.0,
+) -> PoiIndex:
+    """Sample PoI point sets over the region via thinned Poisson processes."""
+    frame = land_use.frame
+    area_km2 = (2 * extent_m / 1000.0) ** 2
+    points: Dict[str, np.ndarray] = {}
+    for cls in POI_CLASSES:
+        intensity = _POI_URBAN_INTENSITY[cls] * intensity_scale
+        n_candidates = rng.poisson(intensity * area_km2)
+        if n_candidates == 0:
+            points[cls] = np.zeros((0, 2))
+            continue
+        xy = rng.uniform(-extent_m, extent_m, size=(n_candidates, 2))
+        lat, lon = frame.to_latlon(xy[:, 0], xy[:, 1])
+        if cls in _HIGHWAY_CLASSES and highway_waypoints:
+            keep_p = _highway_proximity(xy, frame, highway_waypoints)
+        else:
+            # Thin by urban-ness: accept with probability ~ 1 - clutter gap.
+            clutter = np.asarray(land_use.clutter_at(lat, lon))
+            keep_p = np.clip(clutter * 1.6, 0.03, 1.0)
+        keep = rng.random(n_candidates) < keep_p
+        points[cls] = xy[keep]
+    return PoiIndex(frame, points)
+
+
+def _highway_proximity(
+    xy: np.ndarray,
+    frame: LocalFrame,
+    highway_waypoints: Sequence[Sequence[Tuple[float, float]]],
+    scale_m: float = 800.0,
+) -> np.ndarray:
+    """Acceptance probability decaying with distance to the nearest highway."""
+    min_d = np.full(len(xy), np.inf)
+    for polyline in highway_waypoints:
+        lats = np.array([p[0] for p in polyline])
+        lons = np.array([p[1] for p in polyline])
+        hx, hy = frame.to_xy(lats, lons)
+        for px, py in zip(hx, hy):
+            min_d = np.minimum(min_d, np.hypot(xy[:, 0] - px, xy[:, 1] - py))
+    return np.exp(-min_d / scale_m)

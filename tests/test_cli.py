@@ -1,0 +1,59 @@
+"""CLI smoke tests (tiny scale, real subprocess-free invocation)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.dataset == "a"
+        assert args.seed == 7
+
+    def test_generate_requires_checkpoint(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate"])
+
+
+class TestCommands:
+    def test_simulate_prints_stats(self, capsys):
+        rc = main(["simulate", "--samples", "150", "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "walk" in out and "tram" in out
+        assert "rsrp_mean" in out
+
+    def test_train_generate_evaluate_round_trip(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "model.npz")
+        rc = main([
+            "train", "--samples", "150", "--seed", "3",
+            "--epochs", "1", "--hidden", "10", "--out", ckpt,
+        ])
+        assert rc == 0
+        assert (tmp_path / "model.npz").exists()
+
+        csv = str(tmp_path / "gen.csv")
+        rc = main([
+            "generate", "--samples", "150", "--seed", "3", "--hidden", "10",
+            "--checkpoint", ckpt, "--route-length-m", "500",
+            "--out", csv,
+        ])
+        assert rc == 0
+        data = np.genfromtxt(csv, delimiter=",", names=True)
+        assert {"t_s", "lat", "lon", "rsrp", "rsrq"} <= set(data.dtype.names)
+        assert len(data) > 10
+        assert np.all(data["rsrp"] <= -44) and np.all(data["rsrp"] >= -140)
+
+        rc = main([
+            "evaluate", "--samples", "150", "--seed", "3", "--hidden", "10",
+            "--checkpoint", ckpt,
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fidelity" in out

@@ -1,0 +1,54 @@
+"""CLI on Dataset B + report entry points."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestCliDatasetB:
+    def test_simulate_dataset_b(self, capsys):
+        rc = main(["simulate", "--dataset", "b", "--samples", "150", "--seed", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "city_driving_1" in out
+        assert "highway_2" in out
+
+    def test_train_on_dataset_b(self, tmp_path):
+        ckpt = str(tmp_path / "b.npz")
+        rc = main([
+            "train", "--dataset", "b", "--samples", "150", "--seed", "4",
+            "--epochs", "1", "--hidden", "8", "--out", ckpt,
+        ])
+        assert rc == 0
+        assert (tmp_path / "b.npz").exists()
+
+
+class TestCliSeeding:
+    def test_same_seed_same_stats(self, capsys):
+        main(["simulate", "--samples", "120", "--seed", "11"])
+        out1 = capsys.readouterr().out
+        main(["simulate", "--samples", "120", "--seed", "11"])
+        out2 = capsys.readouterr().out
+        assert out1 == out2
+
+    def test_different_seed_different_stats(self, capsys):
+        main(["simulate", "--samples", "120", "--seed", "11"])
+        out1 = capsys.readouterr().out
+        main(["simulate", "--samples", "120", "--seed", "12"])
+        out2 = capsys.readouterr().out
+        assert out1 != out2
+
+
+class TestModuleEntryPoints:
+    def test_repro_main_module_importable(self):
+        import importlib
+
+        cli = importlib.import_module("repro.cli")
+        assert hasattr(cli, "main")
+
+    def test_eval_report_exports(self):
+        from repro.eval import REPORT_SECTIONS, build_report
+
+        assert len(REPORT_SECTIONS) >= 15
+        assert callable(build_report)

@@ -1,0 +1,187 @@
+"""Context pipeline: extraction, windowing, normalization."""
+
+import numpy as np
+import pytest
+
+from repro.context import (
+    CellFeatureTransform,
+    ContextBuilder,
+    ContextConfig,
+    EnvFeatureNormalizer,
+    EnvironmentContextExtractor,
+    N_CELL_ATTRIBUTES,
+    N_CELL_FEATURES,
+    NetworkContextExtractor,
+    TargetNormalizer,
+    window_starts,
+)
+
+
+class TestWindowStarts:
+    def test_exact_cover(self):
+        assert window_starts(100, 50, 50) == [0, 50]
+
+    def test_overlapping(self):
+        starts = window_starts(100, 50, 10)
+        assert starts[0] == 0
+        assert starts[-1] == 50
+        assert all(b - a == 10 for a, b in zip(starts[:-2], starts[1:-1]))
+
+    def test_tail_anchored(self):
+        starts = window_starts(103, 50, 50)
+        assert starts[-1] == 53  # tail window covers the last samples
+
+    def test_short_series(self):
+        assert window_starts(30, 50, 10) == [0]
+
+    def test_empty(self):
+        assert window_starts(0, 50, 10) == []
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            window_starts(100, 0, 10)
+        with pytest.raises(ValueError):
+            window_starts(100, 10, 0)
+
+
+class TestNetworkContext:
+    @pytest.fixture(scope="class")
+    def extractor(self, small_region):
+        return NetworkContextExtractor(small_region.deployment, d_s_m=1500.0)
+
+    def test_distances_shape(self, extractor, sample_trajectory, small_region):
+        d = extractor.distances(sample_trajectory)
+        assert d.shape == (len(sample_trajectory), len(small_region.deployment))
+
+    def test_window_cells_within_ds(self, extractor, sample_trajectory):
+        distances = extractor.distances(sample_trajectory)
+        cells = extractor.window_cells(distances, 0, 30)
+        assert len(cells) > 0
+        block = distances[0:30][:, cells]
+        assert (block <= 1500.0).any(axis=0).all()
+
+    def test_max_cells_cap(self, extractor, sample_trajectory):
+        distances = extractor.distances(sample_trajectory)
+        cells = extractor.window_cells(distances, 0, 30, max_cells=3)
+        assert len(cells) <= 3
+
+    def test_cells_sorted_by_mean_distance(self, extractor, sample_trajectory):
+        distances = extractor.distances(sample_trajectory)
+        cells = extractor.window_cells(distances, 0, 30)
+        means = distances[0:30][:, cells].mean(axis=0)
+        assert np.all(np.diff(means) >= 0)
+
+    def test_window_features_schema(self, extractor, sample_trajectory):
+        distances = extractor.distances(sample_trajectory)
+        cells = extractor.window_cells(distances, 0, 20, max_cells=4)
+        features = extractor.window_features(sample_trajectory, distances, cells, 0, 20)
+        assert features.shape == (20, len(cells), N_CELL_ATTRIBUTES)
+        # Static attributes constant over the window; distance varies.
+        assert np.all(features[0, :, 0] == features[-1, :, 0])  # lat
+        assert np.all(features[:, :, 4] >= 0)                   # distance
+
+    def test_invalid_ds(self, small_region):
+        with pytest.raises(ValueError):
+            NetworkContextExtractor(small_region.deployment, d_s_m=0.0)
+
+
+class TestEnvironmentContext:
+    def test_features_shape(self, small_region, sample_trajectory):
+        extractor = EnvironmentContextExtractor(small_region)
+        env = extractor.features(sample_trajectory)
+        assert env.shape == (len(sample_trajectory), 26)
+        # Land-use fractions sum to ~1.
+        np.testing.assert_allclose(env[:, :12].sum(axis=1), 1.0, atol=1e-6)
+        assert np.all(env[:, 12:] >= 0)  # PoI counts
+
+    def test_cache_effective(self, small_region, sample_trajectory):
+        extractor = EnvironmentContextExtractor(small_region)
+        extractor.features(sample_trajectory)
+        n_cache = len(extractor._cache)
+        assert n_cache < len(sample_trajectory)  # nearby samples share entries
+
+
+class TestContextBuilder:
+    @pytest.fixture(scope="class")
+    def builder(self, small_region):
+        return ContextBuilder(small_region, ContextConfig(max_cells=5))
+
+    def test_training_windows(self, builder, sample_record):
+        windows = builder.training_windows([sample_record], ["rsrp", "rsrq"], 30, 10)
+        assert len(windows) > 2
+        w = windows[0]
+        assert w.cell_features.shape[0] == 30
+        assert w.cell_features.shape[2] == N_CELL_ATTRIBUTES
+        assert w.env_features.shape == (30, 26)
+        assert w.target.shape == (30, 2)
+        assert len(w.ue_lat) == 30
+
+    def test_generation_windows_cover_everything(self, builder, sample_trajectory):
+        windows = builder.generation_windows(sample_trajectory, 30)
+        covered = np.zeros(len(sample_trajectory), dtype=bool)
+        for w in windows:
+            covered[w.start : w.start + w.length] = True
+        assert covered.all()
+
+    def test_target_alignment(self, builder, sample_record):
+        windows = builder.training_windows([sample_record], ["rsrp"], 25, 25)
+        full = sample_record.kpi["rsrp"]
+        for w in windows:
+            np.testing.assert_allclose(w.target[:, 0], full[w.start : w.start + 25])
+
+    def test_misaligned_target_rejected(self, builder, sample_trajectory):
+        with pytest.raises(ValueError):
+            builder.windows_for_trajectory(
+                sample_trajectory, 30, 10, target_matrix=np.zeros((5, 2))
+            )
+
+
+class TestNormalizers:
+    def test_cell_transform_shape(self, small_region, sample_record):
+        builder = ContextBuilder(small_region, ContextConfig(max_cells=5))
+        window = builder.training_windows([sample_record], ["rsrp"], 20, 20)[0]
+        transform = CellFeatureTransform(small_region.frame)
+        out = transform(window, window.ue_lat, window.ue_lon)
+        assert out.shape == (20, window.n_cells, N_CELL_FEATURES)
+        # sin/cos columns bounded.
+        assert np.all(np.abs(out[:, :, 3:5]) <= 1.0 + 1e-9)
+        # distance column in km, consistent with the raw attribute.
+        np.testing.assert_allclose(
+            out[:, :, 5], window.cell_features[:, :, 4] / 1000.0
+        )
+
+    def test_env_normalizer_round_trip_properties(self, rng):
+        raw = np.abs(rng.normal(size=(100, 26)))
+        raw[:, :12] /= raw[:, :12].sum(axis=1, keepdims=True)
+        norm = EnvFeatureNormalizer().fit(raw)
+        out = norm(raw)
+        assert out.shape == raw.shape
+        # PoI columns are z-scored after log1p.
+        assert np.abs(out[:, 12:].mean(axis=0)).max() < 1e-6
+
+    def test_env_normalizer_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            EnvFeatureNormalizer()(np.zeros((1, 26)))
+
+    def test_env_normalizer_state_round_trip(self, rng):
+        raw = np.abs(rng.normal(size=(50, 26)))
+        norm = EnvFeatureNormalizer().fit(raw)
+        restored = EnvFeatureNormalizer.from_state(norm.state())
+        np.testing.assert_allclose(restored(raw), norm(raw))
+
+    def test_target_normalizer_round_trip(self, rng):
+        data = rng.normal(loc=[-90, -12], scale=[10, 2], size=(500, 2))
+        norm = TargetNormalizer().fit(data)
+        z = norm.normalize(data)
+        assert np.abs(z.mean(axis=0)).max() < 1e-9
+        np.testing.assert_allclose(norm.denormalize(z), data)
+
+    def test_target_normalizer_state(self, rng):
+        data = rng.normal(size=(100, 3))
+        norm = TargetNormalizer().fit(data)
+        restored = TargetNormalizer.from_state(norm.state())
+        np.testing.assert_allclose(restored.normalize(data), norm.normalize(data))
+
+    def test_target_normalizer_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            TargetNormalizer().normalize(np.zeros((1, 2)))

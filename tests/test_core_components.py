@@ -1,0 +1,166 @@
+"""GenDT core components: config, stochastic LSTM, networks, features."""
+
+import numpy as np
+import pytest
+
+from repro.context.normalize import N_CELL_FEATURES
+from repro.core import (
+    GenDTConfig,
+    ModelBatch,
+    StochasticLSTM,
+    recent_values_matrix,
+    small_config,
+)
+from repro.core.networks import AggregationNetwork, Discriminator, GnnNodeNetwork, ResGen
+from repro import nn
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        config = GenDTConfig()
+        assert config.batch_len == 50
+        assert config.train_step == 5
+        assert config.hidden_size == 100
+        assert config.noise_intensity_h == 2.0
+        assert config.lambda_adv == 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GenDTConfig(batch_len=1).validate()
+        with pytest.raises(ValueError):
+            GenDTConfig(train_step=0).validate()
+        with pytest.raises(ValueError):
+            GenDTConfig(lambda_adv=-1.0).validate()
+        with pytest.raises(ValueError):
+            GenDTConfig(resgen_dropout=1.0).validate()
+
+    def test_one_shot_allowed(self):
+        GenDTConfig(batch_len=None).validate()
+
+    def test_small_config_overrides(self):
+        config = small_config(epochs=2, hidden_size=10)
+        assert config.epochs == 2
+        assert config.hidden_size == 10
+
+    def test_small_config_rejects_unknown(self):
+        with pytest.raises(AttributeError):
+            small_config(bogus=1)
+
+
+class TestStochasticLSTM:
+    def test_shapes(self, rng):
+        lstm = StochasticLSTM(3, 8, rng)
+        out, (h, c) = lstm(nn.Tensor(np.ones((2, 5, 3))))
+        assert out.shape == (2, 5, 8)
+        assert h.shape == (2, 8)
+
+    def test_stochastic_runs_differ(self):
+        rng = np.random.default_rng(0)
+        lstm = StochasticLSTM(2, 6, rng, stochastic=True)
+        x = nn.Tensor(np.ones((1, 10, 2)))
+        out1, _ = lstm(x)
+        out2, _ = lstm(x)
+        assert not np.allclose(out1.numpy(), out2.numpy())
+
+    def test_deterministic_when_disabled(self):
+        rng = np.random.default_rng(0)
+        lstm = StochasticLSTM(2, 6, rng, stochastic=False)
+        x = nn.Tensor(np.ones((1, 10, 2)))
+        out1, _ = lstm(x)
+        out2, _ = lstm(x)
+        np.testing.assert_allclose(out1.numpy(), out2.numpy())
+
+    def test_override_flag(self):
+        rng = np.random.default_rng(0)
+        lstm = StochasticLSTM(2, 6, rng, stochastic=True)
+        x = nn.Tensor(np.ones((1, 10, 2)))
+        out1, _ = lstm(x, stochastic=False)
+        out2, _ = lstm(x, stochastic=False)
+        np.testing.assert_allclose(out1.numpy(), out2.numpy())
+
+    def test_gradients_flow_through_noise(self):
+        rng = np.random.default_rng(0)
+        lstm = StochasticLSTM(2, 4, rng, stochastic=True)
+        out, _ = lstm(nn.Tensor(np.ones((1, 5, 2))))
+        out.sum().backward()
+        for name, param in lstm.named_parameters():
+            assert param.grad is not None, name
+
+    def test_intensity_zero_close_to_plain(self):
+        rng = np.random.default_rng(0)
+        lstm = StochasticLSTM(2, 4, rng, intensity_h=0.0, intensity_c=0.0, stochastic=True)
+        x = nn.Tensor(np.ones((1, 8, 2)))
+        noisy, _ = lstm(x)
+        plain, _ = lstm(x, stochastic=False)
+        np.testing.assert_allclose(noisy.numpy(), plain.numpy(), atol=1e-9)
+
+
+def _config(**kw):
+    return small_config(hidden_size=10, **kw)
+
+
+class TestNetworks:
+    def test_gnn_node_shapes(self, rng):
+        net = GnnNodeNetwork(N_CELL_FEATURES, _config(), rng)
+        out = net(nn.Tensor(np.ones((6, 12, N_CELL_FEATURES))))
+        assert out.shape == (6, 12, 10)
+
+    def test_aggregation_shapes(self, rng):
+        net = AggregationNetwork(3, _config(), rng)
+        out = net(nn.Tensor(np.ones((2, 12, 10))))
+        assert out.shape == (2, 12, 3)
+
+    def test_resgen_distribution_shapes(self, rng):
+        config = _config()
+        net = ResGen(26, 2, config, rng)
+        env = nn.Tensor(np.ones((4, 26)))
+        recent = nn.Tensor(np.ones((4, config.resgen_ar_window * 2)))
+        mu, log_sigma = net.distribution(env, recent)
+        assert mu.shape == (4, 2)
+        assert log_sigma.shape == (4, 2)
+        assert np.all(log_sigma.numpy() <= 2.0)
+
+    def test_resgen_sample_stochastic(self, rng):
+        config = _config()
+        net = ResGen(26, 2, config, rng)
+        env = nn.Tensor(np.ones((4, 26)))
+        recent = nn.Tensor(np.zeros((4, config.resgen_ar_window * 2)))
+        r1, _, _ = net.sample(env, recent)
+        r2, _, _ = net.sample(env, recent)
+        assert not np.allclose(r1.numpy(), r2.numpy())
+
+    def test_resgen_force_dropout(self, rng):
+        net = ResGen(26, 1, _config(), rng)
+        net.eval()
+        net.force_dropout(True)
+        assert all(layer.force_active for layer in net.mlp.dropout_layers)
+        net.force_dropout(False)
+        assert not any(layer.force_active for layer in net.mlp.dropout_layers)
+
+    def test_discriminator_logit_shape(self, rng):
+        config = _config()
+        net = Discriminator(2, config, rng)
+        logits = net(nn.Tensor(np.ones((3, 12, 2))), nn.Tensor(np.ones((3, 12, 10))))
+        assert logits.shape == (3, 1)
+
+
+class TestRecentValuesMatrix:
+    def test_teacher_forcing_layout(self):
+        series = np.arange(12, dtype=float).reshape(1, 6, 2)
+        out = recent_values_matrix(series, ar_window=2)
+        assert out.shape == (1, 6, 4)
+        # t=0 sees only the zero initial state.
+        np.testing.assert_allclose(out[0, 0], 0.0)
+        # t=2 sees x[0], x[1].
+        np.testing.assert_allclose(out[0, 2], [0.0, 1.0, 2.0, 3.0])
+
+    def test_initial_state_used(self):
+        series = np.zeros((1, 3, 1))
+        initial = np.array([[[7.0], [8.0]]])
+        out = recent_values_matrix(series, 2, initial=initial)
+        np.testing.assert_allclose(out[0, 0], [7.0, 8.0])
+        np.testing.assert_allclose(out[0, 1], [8.0, 0.0])
+
+    def test_bad_initial_shape(self):
+        with pytest.raises(ValueError):
+            recent_values_matrix(np.zeros((1, 3, 1)), 2, initial=np.zeros((1, 3, 1)))

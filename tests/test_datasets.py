@@ -1,0 +1,152 @@
+"""Dataset generation, statistics, and geographic splitting."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_A_SCENARIOS,
+    DATASET_B_SCENARIOS,
+    dataset_stats,
+    make_active_learning_subsets,
+    make_long_trajectory,
+    scenario_stats,
+    split_by_geography,
+    split_per_scenario,
+)
+
+
+class TestDatasetA:
+    def test_scenarios_present(self, tiny_dataset_a):
+        assert tiny_dataset_a.scenarios() == ["walk", "bus", "tram"]
+
+    def test_sample_counts_close_to_request(self, tiny_dataset_a):
+        for scenario in tiny_dataset_a.scenarios():
+            total = sum(len(r) for r in tiny_dataset_a.by_scenario(scenario))
+            assert total == pytest.approx(360, rel=0.15)
+
+    def test_one_second_granularity(self, tiny_dataset_a):
+        for record in tiny_dataset_a.records:
+            assert record.trajectory.sample_interval_s == pytest.approx(1.0)
+
+    def test_speed_ordering(self, tiny_dataset_a):
+        stats = {
+            s.scenario: s
+            for s in dataset_stats(
+                {sc: tiny_dataset_a.by_scenario(sc) for sc in tiny_dataset_a.scenarios()}
+            )
+        }
+        assert (
+            stats["walk"].avg_velocity_mps
+            < stats["bus"].avg_velocity_mps
+            < stats["tram"].avg_velocity_mps
+        )
+
+    def test_walk_speed_near_paper(self, tiny_dataset_a):
+        s = scenario_stats("walk", tiny_dataset_a.by_scenario("walk"))
+        assert s.avg_velocity_mps == pytest.approx(1.4, rel=0.25)
+
+    def test_rsrp_band_plausible(self, tiny_dataset_a):
+        for scenario in tiny_dataset_a.scenarios():
+            s = scenario_stats(scenario, tiny_dataset_a.by_scenario(scenario))
+            assert -100 < s.avg_rsrp_dbm < -70
+            assert 3 < s.std_rsrp_dbm < 20
+
+    def test_qoe_attached(self, tiny_dataset_a):
+        assert all(r.qoe for r in tiny_dataset_a.records)
+
+    def test_deterministic(self):
+        from repro.datasets import make_dataset_a
+
+        a = make_dataset_a(seed=3, samples_per_scenario=120, trajectories_per_scenario=2)
+        b = make_dataset_a(seed=3, samples_per_scenario=120, trajectories_per_scenario=2)
+        np.testing.assert_allclose(a.records[0].kpi["rsrp"], b.records[0].kpi["rsrp"])
+
+
+class TestDatasetB:
+    def test_scenarios_present(self, tiny_dataset_b):
+        assert tiny_dataset_b.scenarios() == [
+            "city_driving_1", "city_driving_2", "highway_1", "highway_2",
+        ]
+
+    def test_highway_faster_than_city(self, tiny_dataset_b):
+        city = scenario_stats("city_driving_1", tiny_dataset_b.by_scenario("city_driving_1"))
+        highway = scenario_stats("highway_1", tiny_dataset_b.by_scenario("highway_1"))
+        assert highway.avg_velocity_mps > 2 * city.avg_velocity_mps
+
+    def test_coarser_granularity_than_a(self, tiny_dataset_b):
+        for record in tiny_dataset_b.records:
+            assert record.trajectory.sample_interval_s > 1.5
+
+    def test_roc_computed(self, tiny_dataset_b):
+        s = scenario_stats("highway_1", tiny_dataset_b.by_scenario("highway_1"))
+        assert s.roc_rsrp > 0
+        assert s.roc_rsrq > 0
+
+
+class TestLongTrajectory:
+    def test_long_trajectory_properties(self, tiny_dataset_b):
+        traj = make_long_trajectory(tiny_dataset_b.region, target_duration_s=800.0)
+        assert traj.duration_s <= 800.0
+        assert traj.duration_s > 300.0
+        assert traj.length_m() > 5000.0
+        assert traj.scenario.startswith("long_complex")
+
+    def test_subsets_distinct(self, tiny_dataset_b):
+        subsets = make_active_learning_subsets(
+            tiny_dataset_b.region, n_subsets=5, samples_per_subset=60
+        )
+        assert len(subsets) == 5
+        scenarios = {r.scenario for r in subsets}
+        assert len(scenarios) == 5
+
+
+class TestSplitting:
+    def test_split_fraction(self, tiny_dataset_a, rng):
+        split = split_by_geography(tiny_dataset_a.records, 0.3, 100.0, rng)
+        assert 1 <= len(split.test) <= len(tiny_dataset_a.records) // 2
+
+    def test_geographic_separation_enforced(self, tiny_dataset_a, rng):
+        min_d = 150.0
+        split = split_by_geography(tiny_dataset_a.records, 0.3, min_d, rng)
+        for test_rec in split.test:
+            for train_rec in split.train:
+                assert (
+                    test_rec.trajectory.min_distance_to(train_rec.trajectory) >= min_d
+                )
+
+    def test_no_overlap(self, tiny_dataset_a, rng):
+        split = split_by_geography(tiny_dataset_a.records, 0.25, 100.0, rng)
+        assert len(split.train) + len(split.test) == len(tiny_dataset_a.records)
+        assert not set(map(id, split.train)) & set(map(id, split.test))
+
+    def test_per_scenario_keeps_all_scenarios(self, tiny_dataset_a, rng):
+        split = split_per_scenario(tiny_dataset_a, 0.3, 100.0, rng)
+        train_scenarios = {r.scenario for r in split.train}
+        assert train_scenarios == set(tiny_dataset_a.scenarios())
+
+    def test_invalid_fraction(self, tiny_dataset_a, rng):
+        with pytest.raises(ValueError):
+            split_by_geography(tiny_dataset_a.records, 1.5, 100.0, rng)
+
+    def test_summary_string(self, tiny_split):
+        text = tiny_split.summary()
+        assert "train" in text and "test" in text
+
+
+class TestStats:
+    def test_stats_as_dict_keys(self, tiny_dataset_a):
+        s = scenario_stats("walk", tiny_dataset_a.by_scenario("walk"))
+        d = s.as_dict()
+        for key in ("granularity_s", "velocity_mps", "cell_dwell_s", "rsrp_mean", "samples"):
+            assert key in d
+
+    def test_stats_empty_rejected(self):
+        with pytest.raises(ValueError):
+            scenario_stats("x", [])
+
+    def test_paper_scenario_constants(self):
+        assert [s.name for s in DATASET_A_SCENARIOS] == ["walk", "bus", "tram"]
+        assert [s.speed_mps for s in DATASET_A_SCENARIOS] == [1.4, 5.6, 11.5]
+        assert [s.name for s in DATASET_B_SCENARIOS] == [
+            "city_driving_1", "city_driving_2", "highway_1", "highway_2",
+        ]

@@ -1,0 +1,87 @@
+"""Extra coverage for the analysis helpers and fidelity result store."""
+
+import numpy as np
+import pytest
+
+from repro.eval import FidelityResult, GenerationEnvelope, stitched_generation
+from repro.geo import Trajectory
+
+
+class TestFidelityResultStore:
+    def test_get_and_average(self):
+        result = FidelityResult(method="m")
+        result.per_scenario = {
+            "a": {"rsrp": {"mae": 2.0, "dtw": 1.0, "hwd": 0.5}},
+            "b": {"rsrp": {"mae": 4.0, "dtw": 3.0, "hwd": 1.5}},
+        }
+        assert result.get("a", "rsrp", "mae") == 2.0
+        assert result.average("rsrp", "mae") == pytest.approx(3.0)
+        assert result.scenarios() == ["a", "b"]
+
+    def test_average_skips_missing_scenario_kpis(self):
+        result = FidelityResult(method="m")
+        result.per_scenario = {
+            "a": {"rsrp": {"mae": 2.0}},
+            "b": {"rsrq": {"mae": 10.0}},
+        }
+        assert result.average("rsrp", "mae") == 2.0
+
+
+class TestEnvelopeEdge:
+    def test_single_sample_envelope_degenerate(self, rng):
+        real = rng.normal(size=50)
+        sample = real[None] + 0.1
+        env = GenerationEnvelope(real=real, samples=sample)
+        np.testing.assert_allclose(env.lower, env.upper)
+        assert env.coverage() == 0.0  # offset sample never brackets truth
+
+    def test_wide_envelope_full_coverage(self, rng):
+        real = rng.normal(size=50)
+        samples = np.stack([real - 10.0, real + 10.0])
+        env = GenerationEnvelope(real=real, samples=samples)
+        assert env.coverage() == 1.0
+
+
+class TestStitchedGenerationEdge:
+    def _traj(self, n: int, dt: float = 1.0) -> Trajectory:
+        return Trajectory(
+            np.arange(n) * dt,
+            51.5 + np.arange(n) * 1e-5,
+            np.full(n, -0.1),
+            "syn",
+        )
+
+    def test_segment_longer_than_series(self):
+        traj = self._traj(20)
+        calls = []
+
+        def generate(piece):
+            calls.append(len(piece))
+            return np.zeros((len(piece), 1))
+
+        out = stitched_generation(generate, traj, segment_s=1000.0)
+        assert out.shape == (20, 1)
+        assert calls == [20]
+
+    def test_exact_multiple_segments(self):
+        traj = self._traj(30)
+        calls = []
+
+        def generate(piece):
+            calls.append(len(piece))
+            return np.zeros((len(piece), 2))
+
+        out = stitched_generation(generate, traj, segment_s=10.0)
+        assert out.shape == (30, 2)
+        assert calls == [10, 10, 10]
+
+    def test_each_segment_time_rebased(self):
+        traj = self._traj(20)
+        starts = []
+
+        def generate(piece):
+            starts.append(float(piece.t[0]))
+            return np.zeros((len(piece), 1))
+
+        stitched_generation(generate, traj, segment_s=5.0)
+        assert all(s == 0.0 for s in starts)  # independent short trajectories

@@ -1,0 +1,63 @@
+"""Consolidated report builder."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.eval.report import REPORT_SECTIONS, build_report, collect_results, main
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    d = tmp_path / "results"
+    d.mkdir()
+    (d / "table01_dataset_a_stats.txt").write_text("Table 1 content\nrow")
+    (d / "fig09_envelope.txt").write_text("envelope figure")
+    return d
+
+
+class TestCollect:
+    def test_collects_present_files(self, results_dir):
+        found = collect_results(results_dir)
+        assert set(found) == {"table01_dataset_a_stats", "fig09_envelope"}
+
+    def test_empty_dir(self, tmp_path):
+        assert collect_results(tmp_path) == {}
+
+
+class TestBuild:
+    def test_report_contains_sections_in_order(self, results_dir):
+        report = build_report(results_dir)
+        assert report.index("Table 1 content") < report.index("envelope figure")
+
+    def test_missing_sections_listed(self, results_dir):
+        report = build_report(results_dir)
+        assert "missing sections" in report
+        assert "Table 12" in report
+
+    def test_no_missing_when_all_present(self, tmp_path):
+        for stem, _ in REPORT_SECTIONS:
+            (tmp_path / f"{stem}.txt").write_text("x")
+        report = build_report(tmp_path)
+        assert "missing sections" not in report
+
+    def test_section_registry_matches_bench_names(self):
+        # Every registered stem corresponds to a record_result() call in the
+        # benchmark suite (keeps the report and benches in sync).
+        bench_dir = Path(__file__).parent.parent / "benchmarks"
+        source = "\n".join(
+            p.read_text() for p in bench_dir.glob("test_*.py")
+        )
+        for stem, _ in REPORT_SECTIONS:
+            assert f'"{stem}"' in source, stem
+
+
+class TestMain:
+    def test_prints_to_stdout(self, results_dir, capsys):
+        assert main([str(results_dir)]) == 0
+        assert "Table 1 content" in capsys.readouterr().out
+
+    def test_writes_to_file(self, results_dir, tmp_path):
+        out = tmp_path / "report.txt"
+        assert main([str(results_dir), str(out)]) == 0
+        assert "Table 1 content" in out.read_text()

@@ -1,0 +1,48 @@
+"""Conditional-mean generation (GenDT.generate_expected)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import mae
+
+
+class TestGenerateExpected:
+    def test_shape_matches_generate(self, trained_gendt, tiny_split):
+        traj = tiny_split.test[0].trajectory
+        expected = trained_gendt.generate_expected(traj, n_samples=3)
+        single = trained_gendt.generate(traj)
+        assert expected.shape == single.shape
+
+    def test_less_variable_than_single_draw(self, trained_gendt, tiny_split):
+        traj = tiny_split.test[0].trajectory
+        expected = trained_gendt.generate_expected(traj, n_samples=6)
+        draws = trained_gendt.generate_samples(traj, 6)
+        # Averaging shrinks the sampling noise, so the expected series'
+        # high-frequency variation is below the typical single draw's.
+        def roughness(series):
+            return float(np.abs(np.diff(series[:, 0])).mean())
+
+        single_roughness = np.mean([roughness(d) for d in draws])
+        assert roughness(expected) < single_roughness
+
+    def test_respects_physical_ranges(self, trained_gendt, tiny_split):
+        traj = tiny_split.test[0].trajectory
+        out = trained_gendt.generate_expected(traj, n_samples=2)
+        assert np.all((out[:, 0] >= -140) & (out[:, 0] <= -44))
+        assert np.all((out[:, 1] >= -19.5) & (out[:, 1] <= -3.0))
+
+    def test_pointwise_error_not_worse_than_single(self, trained_gendt, tiny_split):
+        rec = tiny_split.test[0]
+        real = rec.kpi["rsrp"]
+        err_expected = mae(real, trained_gendt.generate_expected(rec.trajectory, 6)[:, 0])
+        err_single = np.mean([
+            mae(real, trained_gendt.generate(rec.trajectory)[:, 0]) for _ in range(4)
+        ])
+        assert err_expected <= err_single * 1.05
+
+    def test_requires_fit(self, tiny_dataset_a, tiny_split):
+        from repro.core import GenDT, small_config
+
+        model = GenDT(tiny_dataset_a.region, kpis=["rsrp"], config=small_config())
+        with pytest.raises(RuntimeError):
+            model.generate_expected(tiny_split.test[0].trajectory)

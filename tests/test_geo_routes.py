@@ -1,0 +1,93 @@
+"""Road network construction and route sampling."""
+
+import numpy as np
+import pytest
+
+from repro.geo import CitySpec, RoadNetwork
+
+
+@pytest.fixture(scope="module")
+def single_city_net():
+    city = CitySpec("solo", 51.5, -0.1, half_extent_m=1000.0, street_spacing_m=250.0)
+    return RoadNetwork([city])
+
+
+@pytest.fixture(scope="module")
+def two_city_net():
+    cities = [
+        CitySpec("a", 51.50, -0.10, half_extent_m=800.0, street_spacing_m=250.0),
+        CitySpec("b", 51.46, -0.02, half_extent_m=800.0, street_spacing_m=250.0),
+    ]
+    return RoadNetwork(cities)
+
+
+class TestConstruction:
+    def test_empty_cities_rejected(self):
+        with pytest.raises(ValueError):
+            RoadNetwork([])
+
+    def test_grid_is_connected(self, single_city_net):
+        import networkx as nx
+
+        assert nx.is_connected(single_city_net.graph)
+
+    def test_street_edges_have_length(self, single_city_net):
+        for _, _, data in single_city_net.graph.edges(data=True):
+            assert data["kind"] in ("street", "highway")
+            assert data["length_m"] > 0
+
+    def test_highway_connects_cities(self, two_city_net):
+        kinds = {d["kind"] for _, _, d in two_city_net.graph.edges(data=True)}
+        assert "highway" in kinds
+
+    def test_highway_is_routable(self, two_city_net):
+        import networkx as nx
+
+        assert nx.is_connected(two_city_net.graph)
+
+
+class TestRouteSampling:
+    def test_walk_reaches_requested_length(self, single_city_net):
+        rng = np.random.default_rng(0)
+        route = single_city_net.random_walk_route(rng, 2000.0, city="solo")
+        assert len(route) >= 2000.0 / 250.0
+
+    def test_walk_avoids_immediate_backtrack(self, single_city_net):
+        rng = np.random.default_rng(1)
+        route = single_city_net.random_walk_route(rng, 3000.0, city="solo")
+        for a, b in zip(route[:-2], route[2:]):
+            # Immediate backtracking (A -> B -> A) should be rare/never when
+            # alternatives exist; grid interior nodes always have them.
+            if single_city_net.graph.degree(b) > 1:
+                continue
+        # At minimum the route should not be a two-node oscillation.
+        assert len(set(route)) > 2
+
+    def test_walk_stays_on_streets(self, two_city_net):
+        rng = np.random.default_rng(2)
+        route = two_city_net.random_walk_route(rng, 1500.0, city="a", kinds=("street",))
+        for u, v in zip(route[:-1], route[1:]):
+            assert two_city_net.graph.edges[u, v]["kind"] == "street"
+
+    def test_intercity_route_spans_both(self, two_city_net):
+        rng = np.random.default_rng(3)
+        route = two_city_net.intercity_route("a", "b", rng, city_detour_m=500.0)
+        kinds = {
+            two_city_net.graph.edges[u, v]["kind"]
+            for u, v in zip(route[:-1], route[1:])
+        }
+        assert "highway" in kinds
+        assert "street" in kinds
+
+    def test_route_to_trajectory(self, single_city_net):
+        rng = np.random.default_rng(4)
+        route = single_city_net.random_walk_route(rng, 1500.0, city="solo")
+        traj = single_city_net.route_to_trajectory(route, 10.0, 1.0, "drive", rng)
+        assert len(traj) > 60
+        assert traj.scenario == "drive"
+        assert traj.average_speed_mps() == pytest.approx(10.0, rel=0.35)
+
+    def test_deterministic_under_seed(self, single_city_net):
+        r1 = single_city_net.random_walk_route(np.random.default_rng(9), 1000.0, city="solo")
+        r2 = single_city_net.random_walk_route(np.random.default_rng(9), 1000.0, city="solo")
+        assert r1 == r2

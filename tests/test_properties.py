@@ -1,0 +1,206 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro import nn
+from repro.context import window_starts
+from repro.metrics import dtw, hwd, mae, wasserstein_1d
+from repro.radio import (
+    cqi_from_sinr,
+    rsrp_from_rssi,
+    rsrq_db,
+    rssi_from_rsrp,
+    rssi_from_rsrp_rsrq,
+    select_serving_cells,
+    HandoverConfig,
+    cell_dwell_times,
+)
+from repro.radio.antenna import SectorAntenna, wrap_angle_deg
+from repro.core.features import recent_values_matrix
+
+finite_series = arrays(
+    np.float64,
+    st.integers(min_value=5, max_value=60),
+    elements=st.floats(min_value=-120, max_value=-40, allow_nan=False),
+)
+
+
+class TestMetricProperties:
+    @given(finite_series)
+    @settings(max_examples=30, deadline=None)
+    def test_mae_nonnegative_and_zero_on_self(self, x):
+        assert mae(x, x) == 0.0
+
+    @given(finite_series, st.floats(min_value=-5, max_value=5, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_mae_translation(self, x, c):
+        assert mae(x, x + c) == pytest.approx(abs(c), abs=1e-9)
+
+    @given(finite_series)
+    @settings(max_examples=20, deadline=None)
+    def test_dtw_bounded_by_pointwise(self, x):
+        rng = np.random.default_rng(0)
+        y = x + rng.normal(0, 1, size=x.shape)
+        assert dtw(x, y) <= mae(x, y) + 1e-9
+
+    @given(finite_series)
+    @settings(max_examples=20, deadline=None)
+    def test_dtw_symmetric(self, x):
+        rng = np.random.default_rng(1)
+        y = np.asarray(x) + rng.normal(0, 2, size=x.shape)
+        assert dtw(x, y) == pytest.approx(dtw(y, x), rel=1e-9)
+
+    @given(finite_series, finite_series)
+    @settings(max_examples=30, deadline=None)
+    def test_hwd_nonnegative_symmetric(self, x, y):
+        assert hwd(x, y) >= 0
+        assert hwd(x, y) == pytest.approx(hwd(y, x), abs=1e-9)
+
+    @given(finite_series)
+    @settings(max_examples=30, deadline=None)
+    def test_wasserstein_identity(self, x):
+        assert wasserstein_1d(x, x) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestKpiRelationProperties:
+    @given(st.floats(min_value=-140, max_value=-44), st.floats(min_value=-100, max_value=-20))
+    @settings(max_examples=50, deadline=None)
+    def test_two_of_three_kpi_closure(self, rsrp, rssi):
+        rsrq = rsrq_db(rsrp, rssi)
+        assert rssi_from_rsrp_rsrq(rsrp, rsrq) == pytest.approx(rssi, abs=1e-9)
+
+    @given(st.floats(min_value=-140, max_value=-44))
+    @settings(max_examples=50, deadline=None)
+    def test_rsrp_rssi_round_trip(self, rsrp):
+        assert rsrp_from_rssi(rssi_from_rsrp(rsrp)) == pytest.approx(rsrp, abs=1e-9)
+
+    @given(st.floats(min_value=-30, max_value=40))
+    @settings(max_examples=50, deadline=None)
+    def test_cqi_always_valid(self, sinr):
+        cqi = cqi_from_sinr(sinr)
+        assert 1 <= cqi <= 15
+        assert cqi == int(cqi)
+
+    @given(
+        st.floats(min_value=-30, max_value=39),
+        st.floats(min_value=0.01, max_value=1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cqi_monotone(self, sinr, delta):
+        assert cqi_from_sinr(sinr + delta) >= cqi_from_sinr(sinr)
+
+
+class TestAntennaProperties:
+    @given(st.floats(min_value=-720, max_value=720, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_wrap_angle_range(self, angle):
+        wrapped = wrap_angle_deg(angle)
+        assert -180.0 <= wrapped < 180.0
+
+    @given(st.floats(min_value=-180, max_value=179.9))
+    @settings(max_examples=50, deadline=None)
+    def test_gain_bounded(self, offset):
+        ant = SectorAntenna(max_gain_dbi=15.0, front_to_back_db=25.0)
+        gain = float(ant.gain_dbi(offset))
+        assert -10.0 - 1e-9 <= gain <= 15.0 + 1e-9
+
+
+class TestWindowProperties:
+    @given(
+        st.integers(min_value=1, max_value=500),
+        st.integers(min_value=2, max_value=80),
+        st.integers(min_value=1, max_value=80),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_window_starts_cover_and_fit(self, total, length, step):
+        starts = window_starts(total, length, step)
+        if total == 0:
+            assert starts == []
+            return
+        eff = min(length, total)
+        if total >= length:
+            covered = np.zeros(total, dtype=bool)
+            for s in starts:
+                assert 0 <= s <= total - length
+                covered[s : s + length] = True
+            assert covered[0] and covered[-1]
+        else:
+            assert starts == [0]
+
+
+class TestServingCellProperties:
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(5, 40), st.integers(1, 6)),
+            elements=st.floats(min_value=-130, max_value=-50, allow_nan=False),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_serving_always_valid_column(self, rsrp):
+        serving = select_serving_cells(rsrp, HandoverConfig(3.0, 2))
+        assert serving.shape == (rsrp.shape[0],)
+        assert np.all((serving >= 0) & (serving < rsrp.shape[1]))
+
+    @given(
+        arrays(
+            np.int64,
+            st.integers(2, 60),
+            elements=st.integers(min_value=0, max_value=4),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_dwell_times_sum_to_total_duration(self, ids):
+        t = np.arange(len(ids), dtype=float)
+        dwell = cell_dwell_times(ids, t)
+        assert dwell.sum() == pytest.approx(len(ids) - 1 + 1.0)
+
+
+class TestAutodiffProperties:
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 5), st.integers(1, 5)),
+            elements=st.floats(min_value=-3, max_value=3, allow_nan=False),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_sum_gradient_is_ones(self, x):
+        t = nn.Tensor(x, requires_grad=True)
+        t.sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones_like(x))
+
+    @given(
+        arrays(
+            np.float64,
+            st.integers(1, 20),
+            elements=st.floats(min_value=-3, max_value=3, allow_nan=False),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_tanh_gradient_bound(self, x):
+        t = nn.Tensor(x, requires_grad=True)
+        t.tanh().sum().backward()
+        assert np.all(t.grad <= 1.0 + 1e-12)
+        assert np.all(t.grad >= 0.0)
+
+
+class TestRecentValuesProperties:
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=2, max_value=20),
+        st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_shifted_layout(self, batch, length, m):
+        rng = np.random.default_rng(0)
+        series = rng.normal(size=(batch, length, 2))
+        out = recent_values_matrix(series, m)
+        assert out.shape == (batch, length, m * 2)
+        # Row t's last block equals x[t-1] for t >= 1.
+        for t in range(1, length):
+            np.testing.assert_allclose(out[:, t, -2:], series[:, t - 1])

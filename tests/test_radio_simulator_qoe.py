@@ -1,0 +1,104 @@
+"""Drive-test simulator and QoE ground-truth model."""
+
+import numpy as np
+import pytest
+
+from repro.radio import DriveTestSimulator, QoETruthModel, cell_dwell_times
+
+
+class TestSimulator:
+    def test_record_shapes(self, sample_record, sample_trajectory):
+        assert len(sample_record) == len(sample_trajectory)
+        for name in ("rsrp", "rsrq", "sinr", "cqi", "rssi"):
+            assert sample_record.kpi[name].shape == (len(sample_trajectory),)
+        assert sample_record.serving_cell_id.shape == (len(sample_trajectory),)
+
+    def test_serving_cell_ids_are_candidates(self, sample_record):
+        assert set(np.unique(sample_record.serving_cell_id)).issubset(
+            set(sample_record.candidate_cell_ids)
+        )
+
+    def test_kpi_matrix_column_order(self, sample_record):
+        mat = sample_record.kpi_matrix(["rsrq", "rsrp"])
+        np.testing.assert_allclose(mat[:, 0], sample_record.kpi["rsrq"])
+        np.testing.assert_allclose(mat[:, 1], sample_record.kpi["rsrp"])
+
+    def test_kpi_matrix_serving_cell_channel(self, sample_record):
+        mat = sample_record.kpi_matrix(["rsrp", "serving_cell"])
+        np.testing.assert_allclose(mat[:, 1], sample_record.serving_cell_id.astype(float))
+
+    def test_rsrp_in_physical_band(self, sample_record):
+        rsrp = sample_record.kpi["rsrp"]
+        assert -140 < rsrp.mean() < -40
+        assert 2 < rsrp.std() < 25
+
+    def test_repeats_differ(self, small_simulator, sample_trajectory):
+        rng = np.random.default_rng(0)
+        recs = small_simulator.simulate_repeats(sample_trajectory, rng, 3)
+        assert not np.allclose(recs[0].kpi["rsrp"], recs[1].kpi["rsrp"])
+
+    def test_repeats_share_structure(self, small_simulator, sample_trajectory):
+        # Cross-run RSRP std should be far below the within-run dynamic range:
+        # the geometry (pathloss) is shared, only shadowing/fading re-roll.
+        rng = np.random.default_rng(1)
+        recs = small_simulator.simulate_repeats(sample_trajectory, rng, 4)
+        stack = np.stack([r.kpi["rsrp"] for r in recs])
+        cross_std = stack.std(axis=0).mean()
+        dynamic_range = stack.max() - stack.min()
+        assert cross_std < dynamic_range / 3
+
+    def test_deterministic_given_rng(self, small_simulator, sample_trajectory):
+        r1 = small_simulator.simulate(sample_trajectory, np.random.default_rng(5))
+        r2 = small_simulator.simulate(sample_trajectory, np.random.default_rng(5))
+        np.testing.assert_allclose(r1.kpi["rsrp"], r2.kpi["rsrp"])
+
+    def test_too_short_trajectory_rejected(self, small_simulator, sample_trajectory):
+        with pytest.raises(ValueError):
+            small_simulator.simulate(sample_trajectory.slice(0, 2), np.random.default_rng(0))
+
+    def test_handovers_occur_on_long_route(self, sample_record):
+        dwell = cell_dwell_times(sample_record.serving_cell_id, sample_record.trajectory.t)
+        assert len(dwell) >= 2  # at least one handover on a 1.5 km drive
+
+    def test_qoe_attached_when_requested(self, sample_record):
+        assert set(sample_record.qoe) == {"throughput_mbps", "per"}
+        assert np.all(sample_record.qoe["throughput_mbps"] >= 0)
+        assert np.all((sample_record.qoe["per"] >= 0) & (sample_record.qoe["per"] <= 1))
+
+
+class TestQoETruth:
+    def test_throughput_increases_with_cqi(self):
+        model = QoETruthModel(throughput_noise_cv=0.0)
+        rng = np.random.default_rng(0)
+        low = model.throughput_mbps(np.full(10, 3.0), np.full(10, 0.5), rng)
+        high = model.throughput_mbps(np.full(10, 12.0), np.full(10, 0.5), rng)
+        assert high.mean() > low.mean() * 3
+
+    def test_throughput_decreases_with_load(self):
+        model = QoETruthModel(throughput_noise_cv=0.0)
+        rng = np.random.default_rng(0)
+        idle = model.throughput_mbps(np.full(10, 10.0), np.full(10, 0.1), rng)
+        busy = model.throughput_mbps(np.full(10, 10.0), np.full(10, 0.9), rng)
+        assert idle.mean() > busy.mean()
+
+    def test_per_decreases_with_sinr_margin(self):
+        model = QoETruthModel(per_noise_cv=0.0)
+        rng = np.random.default_rng(0)
+        # Same CQI, increasing SINR above its threshold -> lower PER.
+        weak = model.packet_error_rate(np.full(10, 0.0), np.full(10, 7.0), rng)
+        strong = model.packet_error_rate(np.full(10, 15.0), np.full(10, 7.0), rng)
+        assert strong.mean() < weak.mean()
+
+    def test_per_bounded(self):
+        model = QoETruthModel()
+        rng = np.random.default_rng(0)
+        per = model.packet_error_rate(
+            np.linspace(-10, 30, 50), np.full(50, 7.0), rng
+        )
+        assert np.all((per >= 0) & (per <= 1))
+
+    def test_generate_keys(self):
+        model = QoETruthModel()
+        rng = np.random.default_rng(0)
+        out = model.generate(np.full(5, 10.0), np.full(5, 8.0), np.full(5, 0.4), rng)
+        assert set(out) == {"throughput_mbps", "per"}

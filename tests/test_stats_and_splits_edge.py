@@ -1,0 +1,78 @@
+"""Edge cases for dataset statistics and geographic splitting."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import scenario_stats, split_by_geography
+from repro.geo import Trajectory
+from repro.radio.simulator import DriveTestRecord
+
+
+def synthetic_record(lat0: float, lon0: float, n: int = 30, scenario: str = "syn") -> DriveTestRecord:
+    """Hand-built record (no simulator) for splitter/stat edge tests."""
+    t = np.arange(n, dtype=float)
+    lat = lat0 + np.arange(n) * 1e-5
+    lon = np.full(n, lon0)
+    trajectory = Trajectory(t, lat, lon, scenario)
+    rng = np.random.default_rng(int(abs(lat0 * 1e4)) % 2**31)
+    kpi = {
+        "rsrp": rng.normal(-85, 5, n),
+        "rsrq": rng.normal(-13, 2, n),
+        "sinr": rng.normal(8, 4, n),
+        "cqi": rng.integers(1, 16, n).astype(float),
+        "rssi": rng.normal(-60, 5, n),
+    }
+    serving = np.repeat(np.arange(3), n // 3 + 1)[:n]
+    return DriveTestRecord(
+        trajectory=trajectory,
+        kpi=kpi,
+        serving_cell_id=serving,
+        candidate_cell_ids=[0, 1, 2],
+        serving_load=np.full(n, 0.4),
+    )
+
+
+class TestScenarioStatsEdge:
+    def test_single_record(self):
+        stats = scenario_stats("syn", [synthetic_record(51.5, -0.1)])
+        assert stats.n_samples == 30
+        assert stats.avg_cell_dwell_s > 0
+
+    def test_aggregates_multiple_records(self):
+        records = [synthetic_record(51.5 + i * 0.01, -0.1) for i in range(3)]
+        stats = scenario_stats("syn", records)
+        assert stats.n_samples == 90
+
+    def test_roc_of_constant_series_zero(self):
+        record = synthetic_record(51.5, -0.1)
+        record.kpi["rsrp"] = np.full(30, -85.0)
+        stats = scenario_stats("syn", [record])
+        assert stats.roc_rsrp == 0.0
+
+
+class TestSplitterEdge:
+    def test_two_far_records_split_cleanly(self, rng):
+        # Two records 5+ km apart: either can be held out.
+        records = [synthetic_record(51.5, -0.1), synthetic_record(51.55, -0.1)]
+        split = split_by_geography(records, 0.5, 1000.0, rng)
+        assert len(split.test) == 1
+        assert len(split.train) == 1
+
+    def test_clustered_records_fall_back(self, rng):
+        # All records within metres of each other: constraint unsatisfiable,
+        # fallback must still hold out exactly one (most isolated) record.
+        records = [synthetic_record(51.5 + i * 1e-5, -0.1) for i in range(4)]
+        split = split_by_geography(records, 0.5, 5000.0, rng)
+        assert len(split.test) == 1
+        assert len(split.train) == 3
+
+    def test_requested_fraction_never_exceeded(self, rng):
+        records = [synthetic_record(51.5 + i * 0.02, -0.1) for i in range(6)]
+        split = split_by_geography(records, 0.34, 100.0, rng)
+        assert len(split.test) <= 2  # round(0.34 * 6) = 2
+
+    def test_deterministic_under_seed(self):
+        records = [synthetic_record(51.5 + i * 0.02, -0.1) for i in range(5)]
+        s1 = split_by_geography(records, 0.4, 100.0, np.random.default_rng(9))
+        s2 = split_by_geography(records, 0.4, 100.0, np.random.default_rng(9))
+        assert [id(r) for r in s1.test] == [id(r) for r in s2.test]

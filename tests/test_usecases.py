@@ -1,0 +1,131 @@
+"""Downstream use cases: QoE prediction and handover analysis."""
+
+import numpy as np
+import pytest
+
+from repro.usecases import (
+    QoEPredictor,
+    compare_handover_distributions,
+    evaluate_qoe_prediction,
+    handover_intervals_from_series,
+    real_handover_intervals,
+)
+
+
+@pytest.fixture(scope="module")
+def qoe_records(tiny_dataset_a):
+    return tiny_dataset_a.records  # all carry QoE ground truth
+
+
+@pytest.fixture(scope="module")
+def qoe_predictor(qoe_records):
+    predictor = QoEPredictor(kpi_names=("rsrp", "rsrq"), epochs=30, seed=0)
+    predictor.fit(qoe_records[:9])
+    return predictor
+
+
+class TestQoEPredictor:
+    def test_predict_shapes(self, qoe_predictor, qoe_records):
+        record = qoe_records[-1]
+        out = qoe_predictor.predict(record)
+        assert out["throughput_mbps"].shape == (len(record),)
+        assert out["per"].shape == (len(record),)
+
+    def test_predictions_physical(self, qoe_predictor, qoe_records):
+        out = qoe_predictor.predict(qoe_records[-1])
+        assert np.all(out["throughput_mbps"] >= 0)
+        assert np.all((out["per"] >= 0) & (out["per"] <= 1))
+
+    def test_kpi_override_changes_prediction(self, qoe_predictor, qoe_records):
+        record = qoe_records[-1]
+        real = qoe_predictor.predict(record)
+        shifted = record.kpi_matrix(["rsrp", "rsrq"]).copy()
+        shifted[:, 0] -= 30.0  # much weaker signal
+        degraded = qoe_predictor.predict(record, kpi_override=shifted)
+        assert degraded["throughput_mbps"].mean() < real["throughput_mbps"].mean()
+
+    def test_rsrp_matters_for_throughput(self, qoe_predictor, qoe_records):
+        # The paper's Fig. 12a/b comparison: a predictor without RSRP/RSRQ
+        # does clearly worse than one with them.
+        test = qoe_records[-3:]
+        blind = QoEPredictor(kpi_names=("rsrp", "rsrq"), epochs=30, seed=1)
+        blind.fit(qoe_records[:9])
+        with_kpis = evaluate_qoe_prediction(qoe_predictor, test)
+        # Zero out the KPIs to emulate their exclusion.
+        overrides = [np.zeros((len(r), 2)) for r in test]
+        without_kpis = evaluate_qoe_prediction(blind, test, overrides)
+        assert (
+            without_kpis["throughput_mbps"]["mae"]
+            > with_kpis["throughput_mbps"]["mae"]
+        )
+
+    def test_requires_fit(self, qoe_records):
+        with pytest.raises(RuntimeError):
+            QoEPredictor().predict(qoe_records[0])
+
+    def test_requires_qoe_ground_truth(self, qoe_predictor, tiny_dataset_b):
+        with pytest.raises(ValueError):
+            qoe_predictor._targets(tiny_dataset_b.records[0])
+
+    def test_evaluate_returns_all_metrics(self, qoe_predictor, qoe_records):
+        out = evaluate_qoe_prediction(qoe_predictor, qoe_records[-2:])
+        for target in ("throughput_mbps", "per"):
+            assert set(out[target]) == {"mae", "dtw", "hwd"}
+
+
+class TestHandoverAnalysis:
+    def test_intervals_from_clean_series(self):
+        series = np.array([1, 1, 1, 2, 2, 2, 3, 3, 3], dtype=float)
+        t = np.arange(9.0)
+        intervals = handover_intervals_from_series(series, t)
+        np.testing.assert_allclose(intervals, [3.0])
+
+    def test_flicker_filtered(self):
+        # A single-sample flicker to another cell must not create two
+        # extra handovers after the median filter.
+        series = np.array([1, 1, 1, 1, 5, 1, 1, 1, 2, 2, 2, 2], dtype=float)
+        t = np.arange(12.0)
+        intervals = handover_intervals_from_series(series, t)
+        assert len(intervals) == 0  # only one true handover -> no interval pair
+
+    def test_continuous_values_snapped(self):
+        series = np.array([1.1, 0.9, 1.2, 2.1, 1.8, 2.2], dtype=float)
+        t = np.arange(6.0)
+        intervals = handover_intervals_from_series(series, t)
+        assert np.all(intervals >= 0)
+
+    def test_real_intervals_pooled(self, tiny_dataset_a):
+        intervals = real_handover_intervals(tiny_dataset_a.records)
+        assert len(intervals) > 0
+        assert np.all(intervals > 0)
+
+    def test_comparison_hwd_small_for_identical(self, tiny_dataset_a):
+        records = tiny_dataset_a.records[:4]
+        generated = [r.serving_cell_id.astype(float) for r in records]
+        comparison = compare_handover_distributions(records, generated)
+        assert comparison.hwd < 3.0
+
+    def test_comparison_detects_wrong_rate(self, tiny_dataset_a):
+        records = tiny_dataset_a.records[:4]
+        # Pathological generated series: handover every sample.
+        generated = [
+            np.arange(len(r), dtype=float) for r in records
+        ]
+        bad = compare_handover_distributions(records, generated)
+        good = compare_handover_distributions(
+            records, [r.serving_cell_id.astype(float) for r in records]
+        )
+        assert bad.hwd > good.hwd
+
+    def test_cdf_monotone(self, tiny_dataset_a):
+        records = tiny_dataset_a.records[:4]
+        comparison = compare_handover_distributions(
+            records, [r.serving_cell_id.astype(float) for r in records]
+        )
+        xs, cdf = comparison.cdf("real")
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_misaligned_inputs_rejected(self, tiny_dataset_a):
+        with pytest.raises(ValueError):
+            compare_handover_distributions(tiny_dataset_a.records[:2], [np.zeros(3)])

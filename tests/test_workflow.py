@@ -1,0 +1,93 @@
+"""Fig. 14 workflow: model transfer and new-region retraining."""
+
+import numpy as np
+import pytest
+
+from repro.core import retrain_in_new_region, transfer_model
+from repro.radio import DriveTestSimulator
+
+
+@pytest.fixture(scope="module")
+def new_region_setup(two_city_region):
+    """Candidate areas (one probe route each) + a measure callback."""
+    rng = np.random.default_rng(0)
+    simulator = DriveTestSimulator(two_city_region, candidate_range_m=3000.0)
+    probes = []
+    for k, city in enumerate(["west", "east", "west"]):
+        route = two_city_region.roads.random_walk_route(
+            np.random.default_rng(10 + k), 800.0, city=city
+        )
+        probes.append(
+            two_city_region.roads.route_to_trajectory(
+                route, 6.0, 1.5, scenario=f"area{k}", rng=np.random.default_rng(20 + k)
+            )
+        )
+
+    def measure(area_idx):
+        return [simulator.simulate(probes[area_idx], np.random.default_rng(30 + area_idx))]
+
+    return probes, measure
+
+
+class TestTransfer:
+    def test_transfer_rebinds_region(self, trained_gendt, two_city_region):
+        transferred = transfer_model(trained_gendt, two_city_region)
+        assert transferred.region is two_city_region
+        assert transferred.context.region is two_city_region
+        # Weights are shared (same generator object).
+        assert transferred.generator is trained_gendt.generator
+
+    def test_transfer_requires_fitted(self, tiny_dataset_a, two_city_region):
+        from repro.core import GenDT, small_config
+
+        model = GenDT(tiny_dataset_a.region, kpis=["rsrp"], config=small_config())
+        with pytest.raises(RuntimeError):
+            transfer_model(model, two_city_region)
+
+    def test_transferred_model_generates(self, trained_gendt, two_city_region, new_region_setup):
+        probes, _ = new_region_setup
+        transferred = transfer_model(trained_gendt, two_city_region)
+        out = transferred.generate(probes[0])
+        assert out.shape == (len(probes[0]), 2)
+        assert np.all(np.isfinite(out))
+
+
+class TestRetrainLoop:
+    def test_workflow_runs_and_records_steps(self, trained_gendt, two_city_region, new_region_setup):
+        import copy
+
+        probes, measure = new_region_setup
+        pretrained = copy.deepcopy(trained_gendt)
+        result = retrain_in_new_region(
+            pretrained, two_city_region, measure, probes,
+            max_steps=2, epochs_per_step=1, mc_passes=2,
+        )
+        assert len(result.steps) >= 1
+        assert result.steps[0].measured_area == 0
+        assert all(np.isfinite(s.model_uncertainty) for s in result.steps)
+        assert result.steps[-1].records_used >= result.steps[0].records_used
+
+    def test_measured_areas_unique(self, trained_gendt, two_city_region, new_region_setup):
+        import copy
+
+        probes, measure = new_region_setup
+        pretrained = copy.deepcopy(trained_gendt)
+        result = retrain_in_new_region(
+            pretrained, two_city_region, measure, probes,
+            max_steps=3, epochs_per_step=1, mc_passes=2, plateau_tolerance=-1.0,
+        )
+        areas = [s.measured_area for s in result.steps]
+        assert len(set(areas)) == len(areas)
+
+    def test_requires_probes(self, trained_gendt, two_city_region):
+        with pytest.raises(ValueError):
+            retrain_in_new_region(
+                trained_gendt, two_city_region, lambda i: [], [], max_steps=1
+            )
+
+    def test_empty_bootstrap_rejected(self, trained_gendt, two_city_region, new_region_setup):
+        probes, _ = new_region_setup
+        with pytest.raises(ValueError):
+            retrain_in_new_region(
+                trained_gendt, two_city_region, lambda i: [], probes, max_steps=1
+            )
