@@ -22,7 +22,7 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import nn, geo, world, radio, context, datasets, core, baselines, metrics, usecases, eval
+from . import nn, geo, world, radio, context, datasets, runtime, core, baselines, metrics, usecases, eval
 
 __all__ = [
     "nn",
@@ -31,6 +31,7 @@ __all__ = [
     "radio",
     "context",
     "datasets",
+    "runtime",
     "core",
     "baselines",
     "metrics",

@@ -63,7 +63,11 @@ def cmd_simulate(args) -> int:
 
 def cmd_train(args) -> int:
     from .core import GenDT, small_config
+    from .runtime import CheckpointManager, HealthGuard
 
+    if args.epochs <= 0:
+        print("no epochs run")
+        return 0
     dataset = _make_dataset(args)
     split = _split(dataset, args.seed)
     kpis = args.kpis.split(",")
@@ -72,10 +76,40 @@ def cmd_train(args) -> int:
         minibatch_windows=16,
     )
     model = GenDT(dataset.region, kpis=kpis, config=config, seed=args.seed)
+
+    checkpoint_dir = args.checkpoint_dir
+    if checkpoint_dir is None and args.checkpoint_every > 0:
+        checkpoint_dir = f"{args.out}.ckpts"
+    resume_from = None
+    if args.resume:
+        if checkpoint_dir is None:
+            print("--resume requires --checkpoint-every (or --checkpoint-dir)")
+            return 2
+        latest = CheckpointManager(checkpoint_dir, keep_last=args.keep_last).latest()
+        if latest is None:
+            print(f"no checkpoint found in {checkpoint_dir}; training from scratch")
+        else:
+            print(f"resuming from {latest}")
+            resume_from = latest
+
+    guard = HealthGuard() if not args.no_guard else None
     print(f"training GenDT on {len(split.train)} records ({args.epochs} epochs)...")
-    history = model.fit(split.train, verbose=True)
+    history = model.fit(
+        split.train,
+        verbose=True,
+        guard=guard,
+        checkpoint_every=args.checkpoint_every or None,
+        checkpoint_dir=checkpoint_dir,
+        keep_last=args.keep_last,
+        resume_from=resume_from,
+    )
     model.save(args.out)
-    print(f"saved checkpoint to {args.out} (final mse={history.mse[-1]:.3f})")
+    if guard is not None and guard.recoveries:
+        print(f"guard recovered {guard.recoveries} unhealthy step(s)")
+    if not history.mse:
+        print(f"saved checkpoint to {args.out} (no epochs run)")
+    else:
+        print(f"saved checkpoint to {args.out} (final mse={history.mse[-1]:.3f})")
     return 0
 
 
@@ -140,6 +174,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--epochs", type=int, default=12)
     p_train.add_argument("--hidden", type=int, default=28)
     p_train.add_argument("--out", default="gendt.npz")
+    p_train.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="write an atomic training checkpoint every N epochs (0 = off)",
+    )
+    p_train.add_argument(
+        "--checkpoint-dir", default=None,
+        help="checkpoint directory (default: <out>.ckpts when checkpointing)",
+    )
+    p_train.add_argument(
+        "--keep-last", type=int, default=3,
+        help="rotating retention: keep only the newest N checkpoints",
+    )
+    p_train.add_argument(
+        "--resume", action="store_true",
+        help="resume from the newest checkpoint in the checkpoint directory",
+    )
+    p_train.add_argument(
+        "--no-guard", action="store_true",
+        help="disable the numerical-health guard (NaN/divergence rollback)",
+    )
     p_train.set_defaults(func=cmd_train)
 
     p_gen = sub.add_parser("generate", help="generate KPIs for a fresh route")

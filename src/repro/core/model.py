@@ -29,6 +29,9 @@ from ..radio.kpis import KPI, KpiSpec
 from ..radio.simulator import DriveTestRecord
 from ..world.region import Region
 from .. import nn
+from ..runtime.checkpoint import is_checkpoint, read_checkpoint, write_checkpoint
+from ..runtime.guards import HealthGuard
+from ..runtime.validate import validate_trajectory, validate_windows
 from .config import GenDTConfig
 from .features import ModelBatch, WindowAssembler
 from .generator import GenDTGenerator
@@ -59,6 +62,7 @@ class GenDT:
         self.generator: Optional[GenDTGenerator] = None
         self.trainer: Optional[GenDTTrainer] = None
         self._fitted = False
+        self._n_env: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Fitting
@@ -86,8 +90,23 @@ class GenDT:
         records: Sequence[DriveTestRecord],
         epochs: Optional[int] = None,
         verbose: bool = False,
+        guard: Optional[HealthGuard] = None,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        keep_last: int = 3,
+        resume_from: Optional[Union[str, Path]] = None,
     ) -> TrainingHistory:
-        """Fit the generator (and refit normalizers) on measurement records."""
+        """Fit the generator (and refit normalizers) on measurement records.
+
+        Fault-tolerance hooks (all optional, see :mod:`repro.runtime`):
+        ``guard`` watches every step for numerical trouble and rolls back;
+        ``checkpoint_every``/``checkpoint_dir``/``keep_last`` write atomic
+        epoch checkpoints with rotating retention; ``resume_from`` restores
+        one and continues bit-exactly — everything before the epoch loop
+        (normalizer fits, weight init, minibatch shuffling) is deterministic
+        under the model seed, and the checkpoint restores the RNG state the
+        interrupted run had at that epoch boundary.
+        """
         if not records:
             raise ValueError("no training records")
         stacked_targets = np.concatenate(
@@ -101,6 +120,7 @@ class GenDT:
         from .features import N_KINEMATIC_FEATURES
 
         n_env = windows[0].env_features.shape[-1] + N_KINEMATIC_FEATURES
+        self._n_env = n_env
         self.generator = GenDTGenerator(
             n_channels=self.kpi_spec.n_channels,
             n_env=n_env,
@@ -117,7 +137,17 @@ class GenDT:
         batches = make_minibatches(
             assembler, windows, self.config.minibatch_windows, self.rng
         )
-        history = self.trainer.fit(batches, epochs=epochs, verbose=verbose)
+        history = self.trainer.fit(
+            batches,
+            epochs=epochs,
+            verbose=verbose,
+            guard=guard,
+            checkpoint_every=checkpoint_every,
+            checkpoint_dir=checkpoint_dir,
+            keep_last=keep_last,
+            resume_from=resume_from,
+            checkpoint_meta=self._checkpoint_meta(),
+        )
         self._fitted = True
         return history
 
@@ -163,8 +193,10 @@ class GenDT:
         Returns {"series": [T, N_ch], optionally "mu"/"sigma": [T, N_ch]}.
         """
         self._require_fitted()
+        validate_trajectory(trajectory)
         length = self._batch_len(len(trajectory))
         windows = self.context.generation_windows(trajectory, length)
+        validate_windows(windows)
         assembler = self._assembler()
         m = self.config.resgen_ar_window
         n_ch = self.kpi_spec.n_channels
@@ -233,11 +265,11 @@ class GenDT:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, path: Union[str, Path]) -> None:
-        """Serialize generator weights and normalizer state."""
-        self._require_fitted()
-        meta = {
+    def _checkpoint_meta(self) -> Dict:
+        """Model-level metadata embedded in checkpoints (normalizers, KPIs)."""
+        return {
             "kpis": self.kpi_names,
+            "n_env": self._n_env,
             "env_normalizer": {
                 k: v.tolist() for k, v in self.env_normalizer.state().items()
             },
@@ -245,23 +277,59 @@ class GenDT:
                 k: v.tolist() for k, v in self.target_normalizer.state().items()
             },
         }
-        nn.save_module(self.generator, path, meta=meta)
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Serialize generator weights and normalizer state.
+
+        Writes an atomic, SHA-256-checksummed checkpoint (see
+        :mod:`repro.runtime.checkpoint`); a torn write or a later bit-flip
+        is detected at load time instead of producing garbage weights.
+        """
+        self._require_fitted()
+        meta = dict(self._checkpoint_meta(), kind="model")
+        arrays = {
+            f"model.{name}": value
+            for name, value in self.generator.state_dict().items()
+        }
+        write_checkpoint(path, arrays, meta)
 
     def load(self, path: Union[str, Path], n_env: int = 28) -> None:
-        """Restore a model saved with :meth:`save` (same config required)."""
-        self.generator = GenDTGenerator(
-            n_channels=self.kpi_spec.n_channels,
-            n_env=n_env,
-            config=self.config,
-            rng=self.rng,
-        )
-        meta = nn.load_module(self.generator, path)
+        """Restore a model saved with :meth:`save` (same config required).
+
+        Accepts both the checksummed checkpoint container and (for backward
+        compatibility) legacy ``.npz`` archives written by older versions.
+        ``n_env`` is only a fallback for legacy files; checkpoints record it.
+        """
+        if is_checkpoint(path):
+            arrays, meta = read_checkpoint(path)
+            state = {
+                name.partition(".")[2]: value
+                for name, value in arrays.items()
+                if name.startswith("model.")
+            }
+            n_env = int(meta.get("n_env") or n_env)
+            self.generator = GenDTGenerator(
+                n_channels=self.kpi_spec.n_channels,
+                n_env=n_env,
+                config=self.config,
+                rng=self.rng,
+            )
+            self.generator.load_state_dict(state)
+        else:
+            self.generator = GenDTGenerator(
+                n_channels=self.kpi_spec.n_channels,
+                n_env=n_env,
+                config=self.config,
+                rng=self.rng,
+            )
+            meta = nn.load_module(self.generator, path)
         if meta is None:
             raise ValueError("missing metadata in checkpoint")
         if meta["kpis"] != self.kpi_names:
             raise ValueError(
                 f"checkpoint KPIs {meta['kpis']} do not match model {self.kpi_names}"
             )
+        self._n_env = n_env
         self.env_normalizer = EnvFeatureNormalizer.from_state(
             {k: np.asarray(v) for k, v in meta["env_normalizer"].items()}
         )

@@ -12,12 +12,21 @@ decomposition).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from .. import nn
 from ..nn.tensor import Tensor
+from ..runtime.checkpoint import (
+    CheckpointManager,
+    capture_trainer_state,
+    read_checkpoint,
+    resolve_checkpoint,
+    restore_trainer_state,
+)
+from ..runtime.guards import HealthGuard
 from .config import GenDTConfig
 from .features import ModelBatch, WindowAssembler
 from .generator import GenDTGenerator
@@ -26,13 +35,14 @@ from .networks import Discriminator
 
 @dataclass
 class TrainingHistory:
-    """Per-epoch loss curves."""
+    """Per-epoch loss curves (plus guard recovery counts)."""
 
     total: List[float] = field(default_factory=list)
     mse: List[float] = field(default_factory=list)
     adversarial: List[float] = field(default_factory=list)
     discriminator: List[float] = field(default_factory=list)
     nll: List[float] = field(default_factory=list)
+    recoveries: List[int] = field(default_factory=list)
 
     def last(self) -> Dict[str, float]:
         return {
@@ -86,7 +96,9 @@ class GenDTTrainer:
         self.d_optimizer.step()
         return loss.item()
 
-    def _generator_step(self, batch: ModelBatch) -> Dict[str, float]:
+    def _generator_step(
+        self, batch: ModelBatch, guard: Optional[HealthGuard] = None
+    ) -> Dict[str, float]:
         out = self.generator.forward_teacher_forced(batch)
         target = Tensor(batch.target)
         mse = nn.mse_loss(out["output"], target)
@@ -113,8 +125,11 @@ class GenDTTrainer:
             nll_value = nll.item()
         self.g_optimizer.zero_grad()
         loss.backward()
-        self.g_optimizer.clip_grad_norm(self.config.grad_clip)
-        self.g_optimizer.step()
+        if guard is None or guard.inspect_gradients(self.g_optimizer):
+            self.g_optimizer.clip_grad_norm(self.config.grad_clip)
+            self.g_optimizer.step()
+        # else: gradients are non-finite — skip the update; the guard's
+        # after_step() rolls the step back and backs off the learning rate.
         return {"total": loss.item(), "mse": mse.item(), "adv": adv_value, "nll": nll_value}
 
     # ------------------------------------------------------------------
@@ -123,32 +138,82 @@ class GenDTTrainer:
         batches: Sequence[ModelBatch],
         epochs: Optional[int] = None,
         verbose: bool = False,
+        guard: Optional[HealthGuard] = None,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        keep_last: int = 3,
+        resume_from: Optional[Union[str, Path]] = None,
+        checkpoint_meta: Optional[Dict[str, Any]] = None,
     ) -> TrainingHistory:
-        """Train over pre-assembled minibatches for ``epochs`` passes."""
+        """Train over pre-assembled minibatches for ``epochs`` passes.
+
+        Args:
+            guard: optional :class:`HealthGuard` watching every step for
+                NaN/Inf and divergence, rolling back to the last-good
+                snapshot on a trip.
+            checkpoint_every: write an atomic checkpoint every N epochs
+                into ``checkpoint_dir`` (both must be given together).
+            keep_last: rotating retention for epoch checkpoints.
+            resume_from: a checkpoint file (or a directory, resolved to its
+                newest checkpoint) to restore before training; the run then
+                continues bit-exactly where the checkpointed run stopped,
+                because the shared RNG state is restored too.
+            checkpoint_meta: extra metadata merged into each checkpoint
+                (e.g. model-level normalizer state from :class:`GenDT`).
+        """
         if not batches:
             raise ValueError("no training batches")
         epochs = epochs or self.config.epochs
-        for epoch in range(epochs):
+        manager: Optional[CheckpointManager] = None
+        if checkpoint_every is not None and checkpoint_every > 0:
+            if checkpoint_dir is None:
+                raise ValueError("checkpoint_every requires checkpoint_dir")
+            manager = CheckpointManager(checkpoint_dir, keep_last=keep_last)
+        start_epoch = 0
+        if resume_from is not None:
+            arrays, meta = read_checkpoint(resolve_checkpoint(resume_from))
+            start_epoch = restore_trainer_state(self, arrays, meta)
+        if guard is not None:
+            guard.attach(
+                modules=[self.generator, self.discriminator],
+                optimizers=[self.g_optimizer, self.d_optimizer],
+            )
+        for epoch in range(start_epoch, epochs):
             order = self.rng.permutation(len(batches))
             epoch_stats = {"total": 0.0, "mse": 0.0, "adv": 0.0, "nll": 0.0, "disc": 0.0}
+            healthy_steps = 0
+            disc_steps = 0
+            recoveries_before = guard.recoveries if guard is not None else 0
             for idx in order:
                 batch = batches[idx]
+                if guard is not None:
+                    guard.begin_step()
+                disc_accum = 0.0
                 if self.discriminator is not None:
                     for _ in range(self.config.d_steps_per_g_step):
-                        epoch_stats["disc"] += self._discriminator_step(batch)
-                stats = self._generator_step(batch)
+                        disc_accum += self._discriminator_step(batch)
+                stats = self._generator_step(batch, guard=guard)
+                if guard is not None and guard.after_step(stats["total"]):
+                    continue  # rolled back: this step never happened
                 for key in ("total", "mse", "adv", "nll"):
                     epoch_stats[key] += stats[key]
-            n = len(batches)
+                epoch_stats["disc"] += disc_accum
+                healthy_steps += 1
+                disc_steps += self.config.d_steps_per_g_step
+            n = max(healthy_steps, 1)
             self.history.total.append(epoch_stats["total"] / n)
             self.history.mse.append(epoch_stats["mse"] / n)
             self.history.adversarial.append(epoch_stats["adv"] / n)
             self.history.nll.append(epoch_stats["nll"] / n)
-            self.history.discriminator.append(
-                epoch_stats["disc"] / max(n * self.config.d_steps_per_g_step, 1)
+            self.history.discriminator.append(epoch_stats["disc"] / max(disc_steps, 1))
+            self.history.recoveries.append(
+                (guard.recoveries - recoveries_before) if guard is not None else 0
             )
             if verbose:
                 print(f"epoch {epoch + 1}/{epochs}: {self.history.last()}")
+            if manager is not None and (epoch + 1) % checkpoint_every == 0:
+                arrays, meta = capture_trainer_state(self, epoch, extra_meta=checkpoint_meta)
+                manager.save(arrays, meta, epoch)
         return self.history
 
 

@@ -27,22 +27,29 @@ from ..context.normalize import CellFeatureTransform
 from ..context.windows import ContextBuilder
 from ..geo.trajectory import Trajectory
 from ..radio.simulator import DriveTestRecord
+from ..runtime.errors import MeasurementError
+from ..runtime.retry import retry
 from ..world.region import Region
 from .model import GenDT
 from .uncertainty import mc_dropout_uncertainty
 
 
-def transfer_model(model: GenDT, region: Region) -> GenDT:
+def transfer_model(model: GenDT, region: Region, copy_weights: bool = False) -> GenDT:
     """Rebind a fitted GenDT to a new region (Fig. 14 ①).
 
     Network weights and normalizers are kept (the model is region-agnostic);
     only the context pipeline — cell database, environment layers — is
-    swapped.  The returned model shares weights with the original, so
-    fine-tuning it also refines the source model unless you ``deepcopy``
-    first.
+    swapped.
+
+    **Shared-weights footgun:** with the default ``copy_weights=False`` the
+    returned model *shares* its generator (and trainer/optimizer state) with
+    the source — fine-tuning the transfer mutates the pretrained original.
+    That is the cheap choice when the original is disposable; pass
+    ``copy_weights=True`` to deep-copy the weights so the pretrained model
+    stays frozen while the transfer is fine-tuned.
     """
     model._require_fitted()
-    transferred = copy.copy(model)
+    transferred = copy.deepcopy(model) if copy_weights else copy.copy(model)
     transferred.region = region
     transferred.context = ContextBuilder(
         region, ContextConfig(max_cells=model.config.max_cells)
@@ -53,12 +60,20 @@ def transfer_model(model: GenDT, region: Region) -> GenDT:
 
 @dataclass
 class RetrainingStep:
-    """One round of the Fig. 14 ③ loop."""
+    """One round of the Fig. 14 ③ loop.
+
+    ``failures`` counts transient measurement failures absorbed by the retry
+    layer during this round; ``skipped`` marks a round whose measurement
+    failed even after retries (the area is blacklisted and the loop moves
+    on instead of aborting the whole run).
+    """
 
     step: int
     measured_area: int
     model_uncertainty: float
     records_used: int
+    failures: int = 0
+    skipped: bool = False
 
 
 @dataclass
@@ -72,9 +87,18 @@ class RetrainingResult:
         return [s.model_uncertainty for s in self.steps]
 
     @property
+    def total_failures(self) -> int:
+        """Transient measurement failures absorbed across the whole run."""
+        return sum(s.failures for s in self.steps)
+
+    @property
     def converged(self) -> bool:
-        """Did the loop stop because uncertainty plateaued (vs budget)?"""
-        series = self.uncertainty_series()
+        """Did the loop stop because uncertainty plateaued (vs budget)?
+
+        Skipped rounds (measurement failed after retries) carry a repeated
+        uncertainty value and are excluded so they cannot fake a plateau.
+        """
+        series = [s.model_uncertainty for s in self.steps if not s.skipped]
         if len(series) < 2:
             return False
         return series[-1] >= series[-2] * 0.98
@@ -90,6 +114,11 @@ def retrain_in_new_region(
     epochs_per_step: int = 3,
     mc_passes: int = 4,
     plateau_tolerance: float = 0.02,
+    copy_weights: bool = False,
+    measure_retries: int = 2,
+    measure_backoff_s: float = 0.5,
+    retry_seed: int = 0,
+    sleep: Optional[Callable[[float], None]] = None,
 ) -> RetrainingResult:
     """Run the Fig. 14 workflow in a new region.
 
@@ -108,17 +137,57 @@ def retrain_in_new_region(
         mc_passes: MC-dropout passes for U(G).
         plateau_tolerance: stop when U(G) improves by less than this
             relative amount.
+        copy_weights: deep-copy the pretrained weights before fine-tuning
+            (see :func:`transfer_model`); default keeps the historical
+            behavior of sharing them.
+        measure_retries: retry budget per measurement call; a ``measure``
+            that raises is retried with exponential backoff before the
+            round is skipped (loop rounds) or the run aborts (bootstrap).
+        measure_backoff_s: base backoff delay between retries.
+        retry_seed: seed for the deterministic backoff jitter.
+        sleep: delay function for the backoff; ``None`` (the default) skips
+            real sleeping — pass ``time.sleep`` for wall-clock backoff in a
+            live campaign.
 
     Returns:
-        the fine-tuned model plus the per-step uncertainty trace.
+        the fine-tuned model plus the per-step uncertainty trace, including
+        per-step transient-failure counts.
+
+    Raises:
+        MeasurementError: the bootstrap measurement failed even after
+            retries (there is no model to continue with).
     """
     if not probe_trajectories:
         raise ValueError("need at least one probe trajectory")
-    model = transfer_model(pretrained, region)
+    model = transfer_model(pretrained, region, copy_weights=copy_weights)
 
-    pool: List[DriveTestRecord] = list(measure(bootstrap_area))
+    failures = {"count": 0}
+
+    def _measure_with_retry(area: int) -> List[DriveTestRecord]:
+        def _count(_attempt: int, _exc: BaseException, _delay: float) -> None:
+            failures["count"] += 1
+
+        return retry(
+            lambda: list(measure(area)),
+            retries=measure_retries,
+            backoff=measure_backoff_s,
+            seed=retry_seed + area,
+            sleep=sleep,
+            on_retry=_count,
+        )
+
+    try:
+        pool: List[DriveTestRecord] = _measure_with_retry(bootstrap_area)
+    except Exception as exc:
+        raise MeasurementError(
+            f"bootstrap measurement of area {bootstrap_area} failed after "
+            f"{measure_retries} retries: {exc}",
+            area=bootstrap_area,
+            attempts=measure_retries + 1,
+        ) from exc
     if not pool:
         raise ValueError("bootstrap measurement returned no records")
+    bootstrap_failures = failures["count"]
     model.continue_fit(pool, epochs=epochs_per_step)
 
     def area_uncertainty(idx: int) -> float:
@@ -133,6 +202,7 @@ def retrain_in_new_region(
         RetrainingStep(
             step=0, measured_area=bootstrap_area,
             model_uncertainty=last_u, records_used=len(pool),
+            failures=bootstrap_failures,
         )
     )
     for step in range(1, max_steps + 1):
@@ -141,7 +211,23 @@ def retrain_in_new_region(
             break
         scores = {i: area_uncertainty(i) for i in remaining}
         target = max(scores, key=scores.get)
-        new_records = list(measure(target))
+        failures_before = failures["count"]
+        try:
+            new_records = _measure_with_retry(target)
+        except Exception:
+            # Degrade gracefully: blacklist the area, annotate the round,
+            # keep the active-learning run alive (Fig. 14 ③ continues with
+            # the next-most-uncertain area on the following iteration).
+            measured.add(target)
+            result.steps.append(
+                RetrainingStep(
+                    step=step, measured_area=target,
+                    model_uncertainty=last_u, records_used=len(pool),
+                    failures=failures["count"] - failures_before + 1,
+                    skipped=True,
+                )
+            )
+            continue
         if not new_records:
             measured.add(target)
             continue
@@ -155,6 +241,7 @@ def retrain_in_new_region(
             RetrainingStep(
                 step=step, measured_area=target,
                 model_uncertainty=current_u, records_used=len(pool),
+                failures=failures["count"] - failures_before,
             )
         )
         if last_u - current_u < plateau_tolerance * max(last_u, 1e-9):

@@ -27,6 +27,19 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Serialization (used by the runtime checkpoint/guard layer).
+    # Slot arrays are keyed by the parameter's *index* in ``self.params``
+    # (id() keys don't survive a process boundary); the order of
+    # ``Module.parameters()`` is deterministic, so index keying is stable.
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {"lr": np.array([self.lr])}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        if "lr" in state:
+            self.lr = float(np.asarray(state["lr"]).ravel()[0])
+
     def clip_grad_norm(self, max_norm: float) -> float:
         """Clip the global gradient norm in place; returns the pre-clip norm."""
         total = 0.0
@@ -73,6 +86,22 @@ class SGD(Optimizer):
                 grad = vel
             param.data -= self.lr * grad
 
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state = super().state_dict()
+        for i, param in enumerate(self.params):
+            vel = self._velocity.get(id(param))
+            if vel is not None:
+                state[f"velocity.{i}"] = vel.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        super().load_state_dict(state)
+        self._velocity.clear()
+        for i, param in enumerate(self.params):
+            key = f"velocity.{i}"
+            if key in state:
+                self._velocity[id(param)] = np.array(state[key], dtype=np.float64)
+
 
 class Adam(Optimizer):
     """Adam optimizer (Kingma & Ba), the default for all GenDT training."""
@@ -115,3 +144,23 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state = super().state_dict()
+        state["t"] = np.array([self._t], dtype=np.int64)
+        for i, param in enumerate(self.params):
+            m = self._m.get(id(param))
+            if m is not None:
+                state[f"m.{i}"] = m.copy()
+                state[f"v.{i}"] = self._v[id(param)].copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        super().load_state_dict(state)
+        self._t = int(np.asarray(state["t"]).ravel()[0]) if "t" in state else 0
+        self._m.clear()
+        self._v.clear()
+        for i, param in enumerate(self.params):
+            if f"m.{i}" in state:
+                self._m[id(param)] = np.array(state[f"m.{i}"], dtype=np.float64)
+                self._v[id(param)] = np.array(state[f"v.{i}"], dtype=np.float64)

@@ -15,9 +15,22 @@ PathLike = Union[str, Path]
 _META_KEY = "__meta__"
 
 
+def _normalize_npz_path(path: PathLike) -> Path:
+    """Mirror ``np.savez``'s suffix behavior so save and load agree.
+
+    ``np.savez("ckpt")`` writes ``ckpt.npz``, so a symmetric ``load("ckpt")``
+    used to fail with FileNotFoundError.  Both directions now normalize the
+    path the same way ``savez`` does: append ``.npz`` unless already present.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
 def save_module(module: Module, path: PathLike, meta: Optional[Dict[str, Any]] = None) -> None:
     """Serialize a module's parameters (plus optional JSON metadata) to .npz."""
-    path = Path(path)
+    path = _normalize_npz_path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     payload: Dict[str, np.ndarray] = dict(module.state_dict())
     if meta is not None:
@@ -29,7 +42,7 @@ def save_module(module: Module, path: PathLike, meta: Optional[Dict[str, Any]] =
 
 def load_module(module: Module, path: PathLike) -> Optional[Dict[str, Any]]:
     """Load parameters saved by :func:`save_module`; returns stored metadata."""
-    path = Path(path)
+    path = _normalize_npz_path(path)
     with np.load(path) as archive:
         state = {k: archive[k] for k in archive.files if k != _META_KEY}
         meta = None

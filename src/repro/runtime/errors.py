@@ -1,0 +1,64 @@
+"""Structured exception taxonomy for the fault-tolerant runtime.
+
+Callers distinguish *retryable* failures (a measurement pass that timed out,
+a transient simulator error) from *fatal* ones (a checkpoint whose checksum
+does not verify, a training run that keeps diverging after every recovery
+attempt).  Everything the runtime raises derives from
+:class:`GenDTRuntimeError`, so ``except GenDTRuntimeError`` catches the whole
+family without swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class GenDTRuntimeError(RuntimeError):
+    """Base class for all runtime-layer failures."""
+
+
+class DivergenceError(GenDTRuntimeError):
+    """Training health could not be restored within ``max_recoveries``.
+
+    Raised by :class:`~repro.runtime.guards.HealthGuard` after it has
+    exhausted its rollback budget; the trainer's parameters are left at the
+    last-good snapshot so the caller can still checkpoint or inspect them.
+    """
+
+    def __init__(self, message: str, step: int = -1, recoveries: int = 0) -> None:
+        super().__init__(message)
+        self.step = step
+        self.recoveries = recoveries
+
+
+class CheckpointCorruptError(GenDTRuntimeError):
+    """A checkpoint failed structural or checksum verification on load."""
+
+    def __init__(self, message: str, path: Optional[str] = None) -> None:
+        super().__init__(message if path is None else f"{path}: {message}")
+        self.path = path
+
+
+class ContextValidationError(GenDTRuntimeError):
+    """Generation-boundary input failed validation.
+
+    ``index`` points at the first offending sample (or -1 when the problem
+    is not tied to a single sample, e.g. an empty trajectory).
+    """
+
+    def __init__(self, message: str, index: int = -1) -> None:
+        super().__init__(message)
+        self.index = index
+
+
+class MeasurementError(GenDTRuntimeError):
+    """A measurement campaign step failed (possibly after retries).
+
+    ``attempts`` records how many times the measurement was tried before
+    giving up; the triggering exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, message: str, area: int = -1, attempts: int = 0) -> None:
+        super().__init__(message)
+        self.area = area
+        self.attempts = attempts

@@ -1,0 +1,167 @@
+"""Fig. 14 loop under measurement failures + the transfer shared-weights fix."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core import retrain_in_new_region, transfer_model
+from repro.radio import DriveTestSimulator
+from repro.runtime import MeasurementError
+
+
+@pytest.fixture(scope="module")
+def probes_and_simulator(two_city_region):
+    simulator = DriveTestSimulator(two_city_region, candidate_range_m=3000.0)
+    probes = []
+    for k, city in enumerate(["west", "east", "west"]):
+        route = two_city_region.roads.random_walk_route(
+            np.random.default_rng(10 + k), 800.0, city=city
+        )
+        probes.append(
+            two_city_region.roads.route_to_trajectory(
+                route, 6.0, 1.5, scenario=f"area{k}", rng=np.random.default_rng(20 + k)
+            )
+        )
+    return probes, simulator
+
+
+def _measure_fn(probes, simulator):
+    def measure(area_idx):
+        return [simulator.simulate(probes[area_idx], np.random.default_rng(30 + area_idx))]
+
+    return measure
+
+
+class TestTransferCopyWeights:
+    def test_shared_weights_footgun_documented_default(self, trained_gendt, two_city_region):
+        transferred = transfer_model(trained_gendt, two_city_region, copy_weights=False)
+        assert transferred.generator is trained_gendt.generator
+
+    def test_copy_weights_isolates_source(
+        self, trained_gendt, two_city_region, probes_and_simulator
+    ):
+        probes, simulator = probes_and_simulator
+        pretrained = copy.deepcopy(trained_gendt)
+        before = {k: v.copy() for k, v in pretrained.generator.state_dict().items()}
+
+        transferred = transfer_model(pretrained, two_city_region, copy_weights=True)
+        assert transferred.generator is not pretrained.generator
+        records = _measure_fn(probes, simulator)(0)
+        transferred.continue_fit(records, epochs=1)
+
+        after = pretrained.generator.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+        # The transferred copy, in contrast, did move.
+        moved = transferred.generator.state_dict()
+        assert any(not np.array_equal(moved[k], before[k]) for k in before)
+
+    def test_shared_mode_mutates_source(
+        self, trained_gendt, two_city_region, probes_and_simulator
+    ):
+        """Regression for the documented default: fine-tuning the shared
+        transfer also moves the source weights."""
+        probes, simulator = probes_and_simulator
+        pretrained = copy.deepcopy(trained_gendt)
+        before = {k: v.copy() for k, v in pretrained.generator.state_dict().items()}
+
+        transferred = transfer_model(pretrained, two_city_region, copy_weights=False)
+        records = _measure_fn(probes, simulator)(0)
+        transferred.continue_fit(records, epochs=1)
+
+        after = pretrained.generator.state_dict()
+        assert any(not np.array_equal(before[k], after[k]) for k in before)
+
+
+class TestMeasurementRetry:
+    def test_fails_twice_then_succeeds_completes_loop(
+        self, trained_gendt, two_city_region, probes_and_simulator
+    ):
+        probes, simulator = probes_and_simulator
+        real_measure = _measure_fn(probes, simulator)
+        fail_budget = {"left": 2}
+
+        def flaky_measure(area_idx):
+            if fail_budget["left"] > 0:
+                fail_budget["left"] -= 1
+                raise RuntimeError("campaign van broke down")
+            return real_measure(area_idx)
+
+        pretrained = copy.deepcopy(trained_gendt)
+        result = retrain_in_new_region(
+            pretrained, two_city_region, flaky_measure, probes,
+            max_steps=2, epochs_per_step=1, mc_passes=2,
+            measure_retries=2, copy_weights=True,
+        )
+        assert fail_budget["left"] == 0  # retry path exercised
+        assert len(result.steps) >= 1
+        assert result.steps[0].failures == 2  # both transient failures logged
+        assert not result.steps[0].skipped
+        assert result.total_failures >= 2
+
+    def test_persistent_loop_failure_skips_and_continues(
+        self, trained_gendt, two_city_region, probes_and_simulator
+    ):
+        probes, simulator = probes_and_simulator
+        real_measure = _measure_fn(probes, simulator)
+        failed_areas = []
+
+        def measure(area_idx):
+            if area_idx != 0:  # every non-bootstrap area is unreachable
+                failed_areas.append(area_idx)
+                raise RuntimeError("road closed")
+            return real_measure(area_idx)
+
+        pretrained = copy.deepcopy(trained_gendt)
+        result = retrain_in_new_region(
+            pretrained, two_city_region, measure, probes,
+            max_steps=2, epochs_per_step=1, mc_passes=2,
+            measure_retries=1, copy_weights=True,
+        )
+        skipped = [s for s in result.steps if s.skipped]
+        assert skipped, "failed rounds must be annotated, not dropped"
+        assert all(s.failures >= 1 for s in skipped)
+        assert all(s.measured_area != 0 for s in skipped)
+        # Skipped rounds repeat the last uncertainty and never fake a plateau.
+        assert not result.converged
+
+    def test_bootstrap_failure_raises_measurement_error(
+        self, trained_gendt, two_city_region, probes_and_simulator
+    ):
+        probes, _ = probes_and_simulator
+
+        def dead_measure(area_idx):
+            raise RuntimeError("no van available")
+
+        with pytest.raises(MeasurementError) as excinfo:
+            retrain_in_new_region(
+                trained_gendt, two_city_region, dead_measure, probes,
+                max_steps=1, measure_retries=1, copy_weights=True,
+            )
+        assert excinfo.value.area == 0
+        assert excinfo.value.attempts == 2
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+    def test_no_sleep_by_default(self, trained_gendt, two_city_region, probes_and_simulator):
+        """The workflow's retries must not wall-clock-sleep under test."""
+        import time
+
+        probes, simulator = probes_and_simulator
+        real_measure = _measure_fn(probes, simulator)
+        calls = {"n": 0}
+
+        def flaky(area_idx):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient")
+            return real_measure(area_idx)
+
+        pretrained = copy.deepcopy(trained_gendt)
+        start = time.monotonic()
+        retrain_in_new_region(
+            pretrained, two_city_region, flaky, probes,
+            max_steps=1, epochs_per_step=1, mc_passes=2,
+            measure_retries=1, measure_backoff_s=30.0, copy_weights=True,
+        )
+        assert time.monotonic() - start < 25.0  # far below one backoff delay
