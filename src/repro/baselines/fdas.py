@@ -9,6 +9,7 @@ even on HWD when the test distribution differs from training (§6.1.3).
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -19,6 +20,8 @@ from ..geo.trajectory import Trajectory
 from ..radio.kpis import KPI, KpiSpec
 from ..radio.simulator import DriveTestRecord
 from .base import BaselineModel
+
+logger = logging.getLogger(__name__)
 
 #: Candidate scipy distributions tried during the MLE fit.
 _CANDIDATES = ("norm", "logistic", "gumbel_l", "gumbel_r")
@@ -48,7 +51,11 @@ def fit_best_distribution(values: np.ndarray) -> FittedDistribution:
         try:
             params = dist.fit(values)
             ll = float(np.sum(dist.logpdf(values, *params)))
-        except Exception:  # a candidate may fail to converge; skip it
+        except (ValueError, RuntimeError, FloatingPointError, OverflowError) as exc:
+            # A candidate may legitimately fail to converge (scipy raises
+            # FitError, a RuntimeError, or ValueError on bad MLE starts);
+            # record why and move to the next family.
+            logger.debug("candidate %s failed to fit: %s", name, exc)
             continue
         if np.isfinite(ll) and (best is None or ll > best.log_likelihood):
             best = FittedDistribution(name, tuple(params), ll)

@@ -7,7 +7,9 @@ Subcommands:
 * ``train`` — fit a GenDT model on a dataset and save the checkpoint;
 * ``generate`` — load a checkpoint and generate KPI series for a fresh
   route in the dataset's region (written as CSV);
-* ``evaluate`` — fidelity of a checkpoint against a held-out split.
+* ``evaluate`` — fidelity of a checkpoint against a held-out split;
+* ``lint`` — run the project static-analysis engine (see
+  ``repro/analysis/README.md``) over source trees.
 
 All commands are deterministic under ``--seed``.  Run
 ``python -m repro <command> --help`` for options.
@@ -102,6 +104,7 @@ def cmd_train(args) -> int:
         checkpoint_dir=checkpoint_dir,
         keep_last=args.keep_last,
         resume_from=resume_from,
+        detect_anomaly=args.detect_anomaly,
     )
     model.save(args.out)
     if guard is not None and guard.recoveries:
@@ -157,6 +160,17 @@ def cmd_evaluate(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from .analysis import main as lint_main
+
+    argv: List[str] = list(args.paths)
+    if args.select:
+        argv += ["--select", args.select]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -194,6 +208,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-guard", action="store_true",
         help="disable the numerical-health guard (NaN/divergence rollback)",
     )
+    p_train.add_argument(
+        "--detect-anomaly", action="store_true",
+        help="train under repro.nn.detect_anomaly: fail fast at the op that "
+             "first produces a NaN/Inf, naming it and its call site",
+    )
     p_train.set_defaults(func=cmd_train)
 
     p_gen = sub.add_parser("generate", help="generate KPIs for a fresh route")
@@ -213,6 +232,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--hidden", type=int, default=28)
     p_eval.add_argument("--checkpoint", required=True)
     p_eval.set_defaults(func=cmd_evaluate)
+
+    p_lint = sub.add_parser("lint", help="run the project static-analysis engine")
+    p_lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    p_lint.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule IDs to run (default: all)",
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    p_lint.set_defaults(func=cmd_lint)
 
     return parser
 

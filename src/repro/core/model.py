@@ -95,6 +95,7 @@ class GenDT:
         checkpoint_dir: Optional[Union[str, Path]] = None,
         keep_last: int = 3,
         resume_from: Optional[Union[str, Path]] = None,
+        detect_anomaly: bool = False,
     ) -> TrainingHistory:
         """Fit the generator (and refit normalizers) on measurement records.
 
@@ -105,7 +106,9 @@ class GenDT:
         one and continues bit-exactly — everything before the epoch loop
         (normalizer fits, weight init, minibatch shuffling) is deterministic
         under the model seed, and the checkpoint restores the RNG state the
-        interrupted run had at that epoch boundary.
+        interrupted run had at that epoch boundary.  ``detect_anomaly``
+        trains under :func:`repro.nn.detect_anomaly`, failing fast at the op
+        that first produces a NaN/Inf.
         """
         if not records:
             raise ValueError("no training records")
@@ -147,12 +150,17 @@ class GenDT:
             keep_last=keep_last,
             resume_from=resume_from,
             checkpoint_meta=self._checkpoint_meta(),
+            detect_anomaly=detect_anomaly,
         )
         self._fitted = True
         return history
 
     def continue_fit(
-        self, records: Sequence[DriveTestRecord], epochs: int, verbose: bool = False
+        self,
+        records: Sequence[DriveTestRecord],
+        epochs: int,
+        verbose: bool = False,
+        detect_anomaly: bool = False,
     ) -> TrainingHistory:
         """Additional training passes on new records, keeping current weights.
 
@@ -165,7 +173,9 @@ class GenDT:
         batches = make_minibatches(
             assembler, windows, self.config.minibatch_windows, self.rng
         )
-        return self.trainer.fit(batches, epochs=epochs, verbose=verbose)
+        return self.trainer.fit(
+            batches, epochs=epochs, verbose=verbose, detect_anomaly=detect_anomaly
+        )
 
     def _assembler(self) -> WindowAssembler:
         return WindowAssembler(

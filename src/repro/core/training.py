@@ -11,6 +11,7 @@ decomposition).
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
@@ -144,6 +145,7 @@ class GenDTTrainer:
         keep_last: int = 3,
         resume_from: Optional[Union[str, Path]] = None,
         checkpoint_meta: Optional[Dict[str, Any]] = None,
+        detect_anomaly: bool = False,
     ) -> TrainingHistory:
         """Train over pre-assembled minibatches for ``epochs`` passes.
 
@@ -151,6 +153,13 @@ class GenDTTrainer:
             guard: optional :class:`HealthGuard` watching every step for
                 NaN/Inf and divergence, rolling back to the last-good
                 snapshot on a trip.
+            detect_anomaly: run the whole epoch loop under
+                :func:`repro.nn.detect_anomaly`, raising
+                :class:`~repro.runtime.errors.NumericalAnomalyError` at the
+                op that first produces a NaN/Inf (forward or backward)
+                instead of letting it surface later as a bad loss.  Off by
+                default; when off the loop is bit-identical to a build
+                without anomaly hooks.
             checkpoint_every: write an atomic checkpoint every N epochs
                 into ``checkpoint_dir`` (both must be given together).
             keep_last: rotating retention for epoch checkpoints.
@@ -178,42 +187,44 @@ class GenDTTrainer:
                 modules=[self.generator, self.discriminator],
                 optimizers=[self.g_optimizer, self.d_optimizer],
             )
-        for epoch in range(start_epoch, epochs):
-            order = self.rng.permutation(len(batches))
-            epoch_stats = {"total": 0.0, "mse": 0.0, "adv": 0.0, "nll": 0.0, "disc": 0.0}
-            healthy_steps = 0
-            disc_steps = 0
-            recoveries_before = guard.recoveries if guard is not None else 0
-            for idx in order:
-                batch = batches[idx]
-                if guard is not None:
-                    guard.begin_step()
-                disc_accum = 0.0
-                if self.discriminator is not None:
-                    for _ in range(self.config.d_steps_per_g_step):
-                        disc_accum += self._discriminator_step(batch)
-                stats = self._generator_step(batch, guard=guard)
-                if guard is not None and guard.after_step(stats["total"]):
-                    continue  # rolled back: this step never happened
-                for key in ("total", "mse", "adv", "nll"):
-                    epoch_stats[key] += stats[key]
-                epoch_stats["disc"] += disc_accum
-                healthy_steps += 1
-                disc_steps += self.config.d_steps_per_g_step
-            n = max(healthy_steps, 1)
-            self.history.total.append(epoch_stats["total"] / n)
-            self.history.mse.append(epoch_stats["mse"] / n)
-            self.history.adversarial.append(epoch_stats["adv"] / n)
-            self.history.nll.append(epoch_stats["nll"] / n)
-            self.history.discriminator.append(epoch_stats["disc"] / max(disc_steps, 1))
-            self.history.recoveries.append(
-                (guard.recoveries - recoveries_before) if guard is not None else 0
-            )
-            if verbose:
-                print(f"epoch {epoch + 1}/{epochs}: {self.history.last()}")
-            if manager is not None and (epoch + 1) % checkpoint_every == 0:
-                arrays, meta = capture_trainer_state(self, epoch, extra_meta=checkpoint_meta)
-                manager.save(arrays, meta, epoch)
+        anomaly_scope = nn.detect_anomaly() if detect_anomaly else nullcontext()
+        with anomaly_scope:
+            for epoch in range(start_epoch, epochs):
+                order = self.rng.permutation(len(batches))
+                epoch_stats = {"total": 0.0, "mse": 0.0, "adv": 0.0, "nll": 0.0, "disc": 0.0}
+                healthy_steps = 0
+                disc_steps = 0
+                recoveries_before = guard.recoveries if guard is not None else 0
+                for idx in order:
+                    batch = batches[idx]
+                    if guard is not None:
+                        guard.begin_step()
+                    disc_accum = 0.0
+                    if self.discriminator is not None:
+                        for _ in range(self.config.d_steps_per_g_step):
+                            disc_accum += self._discriminator_step(batch)
+                    stats = self._generator_step(batch, guard=guard)
+                    if guard is not None and guard.after_step(stats["total"]):
+                        continue  # rolled back: this step never happened
+                    for key in ("total", "mse", "adv", "nll"):
+                        epoch_stats[key] += stats[key]
+                    epoch_stats["disc"] += disc_accum
+                    healthy_steps += 1
+                    disc_steps += self.config.d_steps_per_g_step
+                n = max(healthy_steps, 1)
+                self.history.total.append(epoch_stats["total"] / n)
+                self.history.mse.append(epoch_stats["mse"] / n)
+                self.history.adversarial.append(epoch_stats["adv"] / n)
+                self.history.nll.append(epoch_stats["nll"] / n)
+                self.history.discriminator.append(epoch_stats["disc"] / max(disc_steps, 1))
+                self.history.recoveries.append(
+                    (guard.recoveries - recoveries_before) if guard is not None else 0
+                )
+                if verbose:
+                    print(f"epoch {epoch + 1}/{epochs}: {self.history.last()}")
+                if manager is not None and (epoch + 1) % checkpoint_every == 0:
+                    arrays, meta = capture_trainer_state(self, epoch, extra_meta=checkpoint_meta)
+                    manager.save(arrays, meta, epoch)
         return self.history
 
 

@@ -17,6 +17,7 @@ can be carried to a previously unseen region:
 from __future__ import annotations
 
 import copy
+import logging
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -32,6 +33,8 @@ from ..runtime.retry import retry
 from ..world.region import Region
 from .model import GenDT
 from .uncertainty import mc_dropout_uncertainty
+
+logger = logging.getLogger(__name__)
 
 
 def transfer_model(model: GenDT, region: Region, copy_weights: bool = False) -> GenDT:
@@ -74,6 +77,7 @@ class RetrainingStep:
     records_used: int
     failures: int = 0
     skipped: bool = False
+    skip_reason: str = ""
 
 
 @dataclass
@@ -167,24 +171,28 @@ def retrain_in_new_region(
         def _count(_attempt: int, _exc: BaseException, _delay: float) -> None:
             failures["count"] += 1
 
-        return retry(
-            lambda: list(measure(area)),
-            retries=measure_retries,
-            backoff=measure_backoff_s,
-            seed=retry_seed + area,
-            sleep=sleep,
-            on_retry=_count,
-        )
+        try:
+            return retry(
+                lambda: list(measure(area)),
+                retries=measure_retries,
+                backoff=measure_backoff_s,
+                seed=retry_seed + area,
+                sleep=sleep,
+                on_retry=_count,
+            )
+        except Exception as exc:
+            # Terminal failure after the whole retry budget: surface it as
+            # the structured taxonomy type so callers can catch precisely.
+            raise MeasurementError(
+                f"measurement of area {area} failed after "
+                f"{measure_retries} retries: {exc}",
+                area=area,
+                attempts=measure_retries + 1,
+            ) from exc
 
-    try:
-        pool: List[DriveTestRecord] = _measure_with_retry(bootstrap_area)
-    except Exception as exc:
-        raise MeasurementError(
-            f"bootstrap measurement of area {bootstrap_area} failed after "
-            f"{measure_retries} retries: {exc}",
-            area=bootstrap_area,
-            attempts=measure_retries + 1,
-        ) from exc
+    # A bootstrap failure propagates as MeasurementError (see Raises above):
+    # there is no model to continue with.
+    pool: List[DriveTestRecord] = _measure_with_retry(bootstrap_area)
     if not pool:
         raise ValueError("bootstrap measurement returned no records")
     bootstrap_failures = failures["count"]
@@ -214,10 +222,13 @@ def retrain_in_new_region(
         failures_before = failures["count"]
         try:
             new_records = _measure_with_retry(target)
-        except Exception:
+        except MeasurementError as exc:
             # Degrade gracefully: blacklist the area, annotate the round,
             # keep the active-learning run alive (Fig. 14 ③ continues with
             # the next-most-uncertain area on the following iteration).
+            logger.warning(
+                "skipping area %d after %d attempts: %s", target, exc.attempts, exc
+            )
             measured.add(target)
             result.steps.append(
                 RetrainingStep(
@@ -225,6 +236,7 @@ def retrain_in_new_region(
                     model_uncertainty=last_u, records_used=len(pool),
                     failures=failures["count"] - failures_before + 1,
                     skipped=True,
+                    skip_reason=str(exc),
                 )
             )
             continue

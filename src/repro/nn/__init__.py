@@ -7,6 +7,7 @@ dropout (with MC-dropout support), Adam/SGD, and the GAN/MSE/Gaussian losses.
 """
 
 from .tensor import Tensor, as_tensor, concat, is_grad_enabled, no_grad, ones, stack, where, zeros
+from .anomaly import NumericalAnomalyError, detect_anomaly, is_anomaly_enabled
 from .module import Module, Parameter
 from .layers import MLP, Dropout, LeakyReLU, Linear, Sequential, Sigmoid, Tanh
 from .lstm import LSTM, LSTMCell, LSTMRegressor
@@ -32,6 +33,9 @@ __all__ = [
     "ones",
     "no_grad",
     "is_grad_enabled",
+    "detect_anomaly",
+    "is_anomaly_enabled",
+    "NumericalAnomalyError",
     "Module",
     "Parameter",
     "Linear",

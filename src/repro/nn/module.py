@@ -12,6 +12,8 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from .anomaly import STATE as _anomaly
+from .anomaly import NumericalAnomalyError, annotate_module
 from .tensor import Tensor
 
 
@@ -110,4 +112,12 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
-        return self.forward(*args, **kwargs)
+        if not _anomaly.enabled:
+            return self.forward(*args, **kwargs)
+        try:
+            return self.forward(*args, **kwargs)
+        except NumericalAnomalyError as exc:
+            # Build the innermost-first module path as the stack unwinds, so
+            # the error reports *where in the model* the anomaly surfaced.
+            annotate_module(exc, type(self).__name__)
+            raise

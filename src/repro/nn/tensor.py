@@ -19,6 +19,10 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .anomaly import STATE as _anomaly
+from .anomaly import check_backward as _anomaly_check_backward
+from .anomaly import note_forward as _anomaly_note_forward
+
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
 _grad_enabled = True
@@ -61,7 +65,7 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
 class Tensor:
     """A numpy-backed tensor with reverse-mode autodiff support."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name", "_anomaly_ctx")
 
     __array_priority__ = 100  # ensure ndarray + Tensor dispatches to Tensor
 
@@ -135,6 +139,8 @@ class Tensor:
     ) -> "Tensor":
         requires = _grad_enabled and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=False)
+        if _anomaly.enabled:
+            _anomaly_note_forward(out, out.data)
         if requires:
             out.requires_grad = True
             out._parents = tuple(p for p in parents if p.requires_grad)
@@ -442,6 +448,8 @@ class Tensor:
         for node in reversed(order):
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
+                if _anomaly.enabled:
+                    _anomaly_check_backward(node)
                 # Free intermediate grads/graph to bound memory; keep leaf grads.
                 if node._parents:
                     node.grad = None

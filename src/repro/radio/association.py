@@ -79,7 +79,7 @@ def handover_times(serving_cell_ids: np.ndarray, timestamps_s: np.ndarray) -> np
     t = np.asarray(timestamps_s, dtype=float)
     if len(ids) != len(t):
         raise ValueError("ids and timestamps must align")
-    changes = np.nonzero(np.diff(ids) != 0)[0] + 1
+    changes = np.nonzero(np.diff(ids) != 0)[0] + 1  # repro: noqa[FLT001] (integral cell IDs)
     return t[changes]
 
 
@@ -102,7 +102,7 @@ def cell_dwell_times(serving_cell_ids: np.ndarray, timestamps_s: np.ndarray) -> 
     t = np.asarray(timestamps_s, dtype=float)
     if len(ids) == 0:
         return np.zeros(0)
-    boundaries = np.concatenate([[0], np.nonzero(np.diff(ids) != 0)[0] + 1, [len(ids)]])
+    boundaries = np.concatenate([[0], np.nonzero(np.diff(ids) != 0)[0] + 1, [len(ids)]])  # repro: noqa[FLT001] (integral cell IDs)
     dwell = []
     for start, stop in zip(boundaries[:-1], boundaries[1:]):
         end_t = t[stop] if stop < len(t) else t[-1] + (t[-1] - t[-2] if len(t) >= 2 else 0.0)

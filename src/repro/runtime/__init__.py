@@ -19,6 +19,7 @@ from .errors import (
     DivergenceError,
     GenDTRuntimeError,
     MeasurementError,
+    NumericalAnomalyError,
 )
 from .guards import FAULT_KINDS, GuardEvent, HealthGuard
 from .checkpoint import (
@@ -40,6 +41,7 @@ __all__ = [
     "CheckpointCorruptError",
     "ContextValidationError",
     "MeasurementError",
+    "NumericalAnomalyError",
     "HealthGuard",
     "GuardEvent",
     "FAULT_KINDS",

@@ -62,3 +62,34 @@ class MeasurementError(GenDTRuntimeError):
         super().__init__(message)
         self.area = area
         self.attempts = attempts
+
+
+class NumericalAnomalyError(GenDTRuntimeError):
+    """A NaN/Inf surfaced on the autodiff tape under ``detect_anomaly``.
+
+    Raised by :mod:`repro.nn.anomaly` when anomaly mode is active and a
+    forward output or a backward gradient contains non-finite values.
+    ``op`` is the tensor operation that produced (forward) or backpropagated
+    through (backward) the offending value, ``site`` is the ``file:line`` of
+    the code that invoked it, and ``module_chain`` lists the enclosing
+    :class:`~repro.nn.Module` classes, outermost last.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        op: Optional[str] = None,
+        site: Optional[str] = None,
+        phase: str = "forward",
+    ) -> None:
+        super().__init__(message)
+        self.op = op
+        self.site = site
+        self.phase = phase
+        self.module_chain: list = []
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if self.module_chain:
+            return f"{base} [module path: {' -> '.join(self.module_chain)}]"
+        return base

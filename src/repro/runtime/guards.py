@@ -153,7 +153,7 @@ class HealthGuard:
         if self._pop_injection("corrupt_grad"):
             for param in optimizer.params:
                 if param.grad is not None:
-                    param.grad[...] = np.nan
+                    param.grad[...] = np.nan  # repro: noqa[TEN001] (deliberate fault injection)
                     break
         for param in optimizer.params:
             if param.grad is not None and not np.all(np.isfinite(param.grad)):

@@ -34,9 +34,12 @@ class CellLoadEstimator:
     lr: float = 1e-3
     minibatch: int = 256
     seed: int = 0
+    rng: Optional[np.random.Generator] = None
 
     def __post_init__(self) -> None:
-        self.rng = np.random.default_rng(self.seed)
+        # An injected generator wins over the seed (single-entropy-source rule).
+        if self.rng is None:
+            self.rng = np.random.default_rng(self.seed)
         self.net: Optional[nn.MLP] = None
         self._x_mean: Optional[np.ndarray] = None
         self._x_std: Optional[np.ndarray] = None
