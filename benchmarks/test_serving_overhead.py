@@ -1,0 +1,77 @@
+"""Serving-layer overhead: the resilience machinery must be near-free.
+
+The campaign runner wraps every ``GenDT.generate`` call in admission
+validation, a per-window hook (deadline checks + fault-plan lookups), breaker
+accounting, and envelope assembly.  This bench pins the claim the README
+makes for `repro serving`: on the fault-free path, serving a campaign
+through :class:`repro.serving.CampaignRunner` costs within a small factor of
+calling ``GenDT.generate`` in a bare loop — the isolation layers only pay
+for themselves when faults actually occur.
+"""
+
+import time
+
+import numpy as np
+
+from repro.baselines import FDaS
+from repro.core import GenDT, small_config
+from repro.datasets import make_dataset_a, split_per_scenario
+from repro.serving import CampaignConfig, CampaignRunner
+
+from conftest import record_result
+
+REPEATS = 3
+N_TRAJECTORIES = 6
+
+
+def _setup():
+    dataset = make_dataset_a(seed=7, samples_per_scenario=240)
+    split = split_per_scenario(dataset, 0.3, 200.0, np.random.default_rng(7))
+    config = small_config(epochs=2, hidden_size=20, batch_len=25, train_step=10)
+    model = GenDT(dataset.region, kpis=["rsrp", "rsrq"], config=config, seed=7)
+    model.fit(split.train)
+    fdas = FDaS(kpis=["rsrp", "rsrq"], seed=0)
+    fdas.fit(split.train)
+    trajectories = [r.trajectory for r in split.test[:N_TRAJECTORIES]]
+    return model, fdas, trajectories
+
+
+def _time_bare(model, trajectories):
+    start = time.perf_counter()
+    for trajectory in trajectories:
+        model.generate(trajectory)
+    return time.perf_counter() - start
+
+
+def _time_served(model, fdas, trajectories):
+    runner = CampaignRunner(model, fdas=fdas, config=CampaignConfig(seed=7))
+    start = time.perf_counter()
+    result = runner.run(trajectories)
+    elapsed = time.perf_counter() - start
+    assert all(e.ok for e in result.envelopes)
+    assert all(e.level == "full" for e in result.envelopes)
+    return elapsed
+
+
+def test_serving_overhead_on_fault_free_path():
+    model, fdas, trajectories = _setup()
+    # Warm-up: first generation pays one-time context/assembler caches.
+    model.generate(trajectories[0])
+
+    bare = min(_time_bare(model, trajectories) for _ in range(REPEATS))
+    served = min(_time_served(model, fdas, trajectories) for _ in range(REPEATS))
+    overhead = served / bare if bare > 0 else float("inf")
+
+    lines = [
+        "serving-runtime overhead (fault-free path)",
+        f"trajectories per campaign : {len(trajectories)}",
+        f"bare generate loop        : {bare * 1e3:8.1f} ms",
+        f"CampaignRunner.run        : {served * 1e3:8.1f} ms",
+        f"overhead factor           : {overhead:8.2f}x",
+    ]
+    record_result("serving_overhead", "\n".join(lines))
+
+    # Generous CI bound: the wrapper work (validation, hook dispatch,
+    # breaker bookkeeping, envelopes) must stay a small multiple of the
+    # model call itself, which dominates.
+    assert overhead < 2.0

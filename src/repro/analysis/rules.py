@@ -156,6 +156,9 @@ class NoSilentBroadExcept(Rule):
         "ContextValidationError",
         "MeasurementError",
         "NumericalAnomalyError",
+        "DeadlineExceeded",
+        "CircuitOpenError",
+        "GenerationFaultError",
     }
 
     def _is_broad(self, handler: ast.ExceptHandler) -> bool:
@@ -362,6 +365,54 @@ class NoExactFloatArrayComparison(Rule):
                     "platforms/BLAS builds; use np.allclose or "
                     "np.array_equal with an explicit tolerance decision",
                 )
+
+
+@register
+class ServingSleepsUseBackoffSchedule(Rule):
+    """RTY001: no ad-hoc ``time.sleep`` in ``repro/serving``.
+
+    Every retry/cool-down delay in the serving layer must be derived from
+    :func:`repro.runtime.retry.backoff_schedule` and executed through an
+    injectable sleep (``repro.runtime.retry.REAL_SLEEP`` or a constructor
+    parameter).  A literal ``time.sleep`` call hard-wires the wall clock
+    into the serving path: chaos tests can no longer run the breaker and
+    deadline machinery deterministically, and the delay escapes the audited
+    backoff schedule.
+    """
+
+    id = "RTY001"
+    summary = (
+        "ad-hoc time.sleep in repro/serving; derive delays from "
+        "runtime.retry.backoff_schedule and an injectable sleep"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_package("repro", "serving"):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                chain = _attr_chain(node.func)
+                if chain in ("time.sleep", "time.time"):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"{chain}() hard-wires the wall clock into the "
+                        "serving path; use the injectable sleep/clock "
+                        "(repro.runtime.retry.REAL_SLEEP, time.monotonic "
+                        "via a constructor parameter) with delays from "
+                        "runtime.retry.backoff_schedule",
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name == "sleep":
+                        yield self.violation(
+                            ctx,
+                            node,
+                            "importing time.sleep into repro/serving "
+                            "bypasses the injectable-sleep contract; take a "
+                            "sleep callable defaulting to "
+                            "repro.runtime.retry.REAL_SLEEP instead",
+                        )
 
 
 @register

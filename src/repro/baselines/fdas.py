@@ -83,6 +83,16 @@ class FDaS(BaselineModel):
         for idx, name in enumerate(self.kpi_names):
             self.fits[name] = fit_best_distribution(stacked[:, idx])
 
+    def reseed(self, seed: int) -> None:
+        """Reset the sampling RNG.
+
+        The serving runner (:class:`repro.serving.CampaignRunner`) calls
+        this before a seeded campaign so FDaS-rung fallbacks are
+        byte-identical across re-runs; the fitted distributions are
+        untouched.
+        """
+        self.rng = np.random.default_rng(seed)
+
     def generate(self, trajectory: Trajectory) -> np.ndarray:
         if not self.fits:
             raise RuntimeError("fit before generate")

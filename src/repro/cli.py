@@ -7,6 +7,9 @@ Subcommands:
 * ``train`` — fit a GenDT model on a dataset and save the checkpoint;
 * ``generate`` — load a checkpoint and generate KPI series for a fresh
   route in the dataset's region (written as CSV);
+* ``generate-campaign`` — resilient batch generation over many routes via
+  the serving runtime (:mod:`repro.serving`): per-route quarantine,
+  deadlines, circuit breaker, degradation ladder; JSONL envelopes out;
 * ``evaluate`` — fidelity of a checkpoint against a held-out split;
 * ``lint`` — run the project static-analysis engine (see
   ``repro/analysis/README.md``) over source trees.
@@ -144,6 +147,83 @@ def cmd_generate(args) -> int:
     return 0
 
 
+def cmd_generate_campaign(args) -> int:
+    import json
+
+    from .baselines.fdas import FDaS
+    from .core import GenDT, small_config
+    from .serving import CampaignConfig, CampaignRunner
+
+    dataset = _make_dataset(args)
+    kpis = args.kpis.split(",")
+    config = small_config(
+        epochs=1, hidden_size=args.hidden, batch_len=25, train_step=5
+    )
+    model = GenDT(dataset.region, kpis=kpis, config=config, seed=args.seed)
+    model.load(args.checkpoint)
+
+    fdas = None
+    if not args.no_fdas:
+        split = _split(dataset, args.seed)
+        fdas = FDaS(kpis=kpis, seed=args.seed + 2)
+        fdas.fit(split.train)
+
+    rng = np.random.default_rng(args.seed + 1)
+    trajectories = []
+    if args.routes_file:
+        routes = json.loads(Path(args.routes_file).read_text(encoding="utf-8"))
+        for route in routes:
+            waypoints = [(float(lat), float(lon)) for lat, lon in route]
+            trajectories.append(
+                dataset.region.roads.route_to_trajectory(
+                    waypoints, args.speed, args.interval,
+                    scenario="campaign", rng=rng,
+                )
+            )
+    else:
+        city = dataset.region.cities[0].name
+        for _ in range(args.routes):
+            route = dataset.region.roads.random_walk_route(
+                rng, args.route_length_m, city=city
+            )
+            trajectories.append(
+                dataset.region.roads.route_to_trajectory(
+                    route, args.speed, args.interval,
+                    scenario="campaign", rng=rng,
+                )
+            )
+
+    runner = CampaignRunner(
+        model,
+        fdas=fdas,
+        config=CampaignConfig(
+            trajectory_deadline_s=args.trajectory_deadline or None,
+            campaign_deadline_s=args.campaign_deadline or None,
+            max_resamples=args.max_resamples,
+            breaker_threshold=args.breaker_threshold,
+            seed=args.seed,
+        ),
+    )
+    result = runner.run(trajectories)
+    out = Path(args.out)
+    result.to_jsonl(out, include_series=args.emit_series)
+    summary = result.summary()
+    counts = summary["status_counts"]
+    levels = summary["level_counts"]
+    print(
+        f"campaign: {summary['trajectories']} trajectories -> {out} "
+        f"(ok={counts['ok']} quarantined={counts['quarantined']} "
+        f"deadline={counts['deadline_exceeded']} failed={counts['failed']} "
+        f"cancelled={counts['cancelled']}; levels full={levels['full']} "
+        f"first_stage={levels['first_stage']} fdas={levels['fdas']}; "
+        f"faults={summary['faults']})"
+    )
+    # Partial results are success; an empty campaign or one where nothing
+    # could be served at any level signals failure to the shell.
+    served = counts["ok"]
+    return 0 if served > 0 else 1
+
+
 def cmd_evaluate(args) -> int:
     from .core import GenDT, small_config
     from .eval import compare_methods, format_table, average_rows
@@ -154,9 +234,15 @@ def cmd_evaluate(args) -> int:
     config = small_config(epochs=1, hidden_size=args.hidden, batch_len=25, train_step=5)
     model = GenDT(dataset.region, kpis=kpis, config=config, seed=args.seed)
     model.load(args.checkpoint)
-    results = compare_methods({"gendt": model.generate}, split.test, kpis)
+    on_error = "skip" if args.skip_failures else "raise"
+    results = compare_methods(
+        {"gendt": model.generate}, split.test, kpis, on_error=on_error
+    )
     headers, rows = average_rows(results, kpis)
     print(format_table(headers, rows, title="fidelity on the held-out split"))
+    skipped = sum(len(r.failures) for r in results.values())
+    if skipped:
+        print(f"skipped {skipped} failed generation(s); see logs for details")
     return 0
 
 
@@ -226,11 +312,62 @@ def build_parser() -> argparse.ArgumentParser:
     p_gen.add_argument("--out", default="generated.csv")
     p_gen.set_defaults(func=cmd_generate)
 
+    p_camp = sub.add_parser(
+        "generate-campaign",
+        help="resilient batch generation over many routes (serving runtime)",
+    )
+    _add_common(p_camp)
+    p_camp.add_argument("--kpis", default="rsrp,rsrq")
+    p_camp.add_argument("--hidden", type=int, default=28)
+    p_camp.add_argument("--checkpoint", required=True)
+    p_camp.add_argument(
+        "--routes", type=int, default=8,
+        help="number of random-walk routes to serve (ignored with --routes-file)",
+    )
+    p_camp.add_argument(
+        "--routes-file", default=None,
+        help="JSON file: list of routes, each a list of [lat, lon] waypoints",
+    )
+    p_camp.add_argument("--route-length-m", type=float, default=2000.0)
+    p_camp.add_argument("--speed", type=float, default=8.0)
+    p_camp.add_argument("--interval", type=float, default=1.0)
+    p_camp.add_argument(
+        "--trajectory-deadline", type=float, default=0.0, metavar="S",
+        help="wall-clock budget per trajectory in seconds (0 = unlimited)",
+    )
+    p_camp.add_argument(
+        "--campaign-deadline", type=float, default=0.0, metavar="S",
+        help="wall-clock budget for the whole campaign (0 = unlimited)",
+    )
+    p_camp.add_argument(
+        "--max-resamples", type=int, default=1,
+        help="bounded re-sampling attempts per ladder level on NaN/Inf output",
+    )
+    p_camp.add_argument(
+        "--breaker-threshold", type=int, default=3,
+        help="consecutive model faults that open the circuit breaker",
+    )
+    p_camp.add_argument(
+        "--no-fdas", action="store_true",
+        help="disable the FDaS fallback rung of the degradation ladder",
+    )
+    p_camp.add_argument(
+        "--emit-series", action="store_true",
+        help="embed full generated series in the JSONL envelopes",
+    )
+    p_camp.add_argument("--out", default="campaign.jsonl")
+    p_camp.set_defaults(func=cmd_generate_campaign)
+
     p_eval = sub.add_parser("evaluate", help="fidelity of a checkpoint")
     _add_common(p_eval)
     p_eval.add_argument("--kpis", default="rsrp,rsrq")
     p_eval.add_argument("--hidden", type=int, default=28)
     p_eval.add_argument("--checkpoint", required=True)
+    p_eval.add_argument(
+        "--skip-failures", action="store_true",
+        help="survive individual generation failures instead of aborting "
+             "the sweep (failures are counted and logged)",
+    )
     p_eval.set_defaults(func=cmd_evaluate)
 
     p_lint = sub.add_parser("lint", help="run the project static-analysis engine")

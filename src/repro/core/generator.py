@@ -103,6 +103,7 @@ class GenDTGenerator(nn.Module):
         ar_state: Optional[np.ndarray] = None,
         stochastic: Optional[bool] = None,
         collect_params: bool = False,
+        first_stage_only: bool = False,
     ) -> Tuple[np.ndarray, np.ndarray, Optional[Dict[str, np.ndarray]]]:
         """Generate one batch of windows autoregressively.
 
@@ -113,6 +114,10 @@ class GenDTGenerator(nn.Module):
             stochastic: override for the SRNN noise.
             collect_params: also return ResGen's (mu, sigma) series — used by
                 the MC-dropout uncertainty probe.
+            first_stage_only: skip ResGen residual sampling and return the
+                ``G_n`` + ``G_a`` base output only.  Combined with
+                ``stochastic=False`` this is the deterministic middle rung of
+                the serving degradation ladder (:mod:`repro.serving`).
 
         Returns:
             (generated [B, L, N_ch] in normalized space,
@@ -127,7 +132,7 @@ class GenDTGenerator(nn.Module):
             m = self.resgen.ar_window if self.resgen is not None else 1
             if ar_state is None:
                 ar_state = np.zeros((b, m, n_ch))
-            if self.resgen is None:
+            if self.resgen is None or first_stage_only:
                 new_state = np.concatenate([ar_state, base_np], axis=1)[:, -m:]
                 return base_np, new_state, None
 

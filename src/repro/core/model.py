@@ -12,8 +12,9 @@ network + environment context internally; output: multi-KPI time series).
 
 from __future__ import annotations
 
+import zipfile
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -30,6 +31,7 @@ from ..radio.simulator import DriveTestRecord
 from ..world.region import Region
 from .. import nn
 from ..runtime.checkpoint import is_checkpoint, read_checkpoint, write_checkpoint
+from ..runtime.errors import CheckpointCorruptError
 from ..runtime.guards import HealthGuard
 from ..runtime.validate import validate_trajectory, validate_windows
 from .config import GenDTConfig
@@ -197,8 +199,20 @@ class GenDT:
         trajectory: Trajectory,
         collect_params: bool = False,
         stochastic: Optional[bool] = None,
+        first_stage_only: bool = False,
+        window_hook: Optional[
+            Callable[[int, np.ndarray], Optional[np.ndarray]]
+        ] = None,
     ) -> Dict[str, np.ndarray]:
         """Generate in normalized space; used internally and by uncertainty.
+
+        ``first_stage_only`` skips ResGen residual sampling (deterministic
+        base output).  ``window_hook(index, out)`` is invoked after each
+        generation window with the window index and its [L, N_ch] output; it
+        may return a replacement array, return ``None`` to keep the output,
+        or raise to abort the trajectory.  The serving layer
+        (:mod:`repro.serving`) uses the hook for per-window deadline checks
+        and deterministic fault injection.
 
         Returns {"series": [T, N_ch], optionally "mu"/"sigma": [T, N_ch]}.
         """
@@ -214,14 +228,19 @@ class GenDT:
         mu = np.full_like(series, np.nan) if collect_params else None
         sigma = np.full_like(series, np.nan) if collect_params else None
         ar_state = np.zeros((1, m, n_ch))
-        for window in windows:
+        for index, window in enumerate(windows):
             batch = assembler.assemble([window], with_target=False)
             out, ar_state, params = self.generator.generate_batch(
                 batch, ar_state=ar_state, stochastic=stochastic,
-                collect_params=collect_params,
+                collect_params=collect_params, first_stage_only=first_stage_only,
             )
+            window_out = out[0]
+            if window_hook is not None:
+                replaced = window_hook(index, window_out)
+                if replaced is not None:
+                    window_out = np.asarray(replaced)
             start, stop = window.start, window.start + window.length
-            series[start:stop] = out[0]
+            series[start:stop] = window_out
             if collect_params and params is not None:
                 mu[start:stop] = params["mu"][0]
                 sigma[start:stop] = params["sigma"][0]
@@ -232,14 +251,32 @@ class GenDT:
         return result
 
     def generate(
-        self, trajectory: Trajectory, stochastic: Optional[bool] = None
+        self,
+        trajectory: Trajectory,
+        stochastic: Optional[bool] = None,
+        first_stage_only: bool = False,
+        window_hook: Optional[
+            Callable[[int, np.ndarray], Optional[np.ndarray]]
+        ] = None,
     ) -> np.ndarray:
         """Generate the KPI time series for a trajectory, in physical units.
 
         Returns [T, n_kpis], channels ordered as ``self.kpi_names``; values
         are clipped to physical KPI ranges (CQI snapped to integers).
+
+        This call is all-or-nothing: a bad trajectory raises
+        :class:`~repro.runtime.errors.ContextValidationError` and a mid-run
+        fault aborts the series.  For batch workloads that must survive
+        individual failures — quarantine, deadlines, circuit breaking, and
+        degraded-but-valid fallbacks — use
+        :class:`repro.serving.CampaignRunner`, which wraps this method (via
+        ``window_hook``/``first_stage_only``) in the resilient serving
+        runtime.
         """
-        normalized = self.generate_normalized(trajectory, stochastic=stochastic)
+        normalized = self.generate_normalized(
+            trajectory, stochastic=stochastic, first_stage_only=first_stage_only,
+            window_hook=window_hook,
+        )
         series = self.target_normalizer.denormalize(normalized["series"])
         return self._clip(series)
 
@@ -309,9 +346,24 @@ class GenDT:
         Accepts both the checksummed checkpoint container and (for backward
         compatibility) legacy ``.npz`` archives written by older versions.
         ``n_env`` is only a fallback for legacy files; checkpoints record it.
+
+        Raises:
+            CheckpointCorruptError: the file is missing, fails checksum
+                verification, or (legacy path) is a malformed/truncated
+                ``.npz`` archive — always carrying the offending path.
+            ValueError: the checkpoint's KPI list does not match this
+                model's (message names the checkpoint path).
         """
         if is_checkpoint(path):
             arrays, meta = read_checkpoint(path)
+            # Validate KPI compatibility before instantiating the generator:
+            # a channel-count mismatch would otherwise surface as an opaque
+            # weight-shape error from load_state_dict.
+            if meta is not None and meta.get("kpis") != self.kpi_names:
+                raise ValueError(
+                    f"checkpoint {path}: KPIs {meta.get('kpis')} do not match "
+                    f"model {self.kpi_names}"
+                )
             state = {
                 name.partition(".")[2]: value
                 for name, value in arrays.items()
@@ -332,12 +384,24 @@ class GenDT:
                 config=self.config,
                 rng=self.rng,
             )
-            meta = nn.load_module(self.generator, path)
+            try:
+                meta = nn.load_module(self.generator, path)
+            except FileNotFoundError as exc:
+                raise CheckpointCorruptError(
+                    f"checkpoint not found: {exc}", path=str(path)
+                ) from exc
+            except (KeyError, OSError, ValueError, zipfile.BadZipFile) as exc:
+                # np.load raises BadZipFile/OSError on truncation, KeyError on
+                # a missing array, ValueError on un-unpicklable garbage.
+                raise CheckpointCorruptError(
+                    f"malformed legacy .npz archive: {exc!r}", path=str(path)
+                ) from exc
         if meta is None:
-            raise ValueError("missing metadata in checkpoint")
+            raise ValueError(f"missing metadata in checkpoint {path}")
         if meta["kpis"] != self.kpi_names:
             raise ValueError(
-                f"checkpoint KPIs {meta['kpis']} do not match model {self.kpi_names}"
+                f"checkpoint {path}: KPIs {meta['kpis']} do not match "
+                f"model {self.kpi_names}"
             )
         self._n_env = n_env
         self.env_normalizer = EnvFeatureNormalizer.from_state(

@@ -28,13 +28,29 @@ from ..context.normalize import CellFeatureTransform
 from ..context.windows import ContextBuilder
 from ..geo.trajectory import Trajectory
 from ..radio.simulator import DriveTestRecord
-from ..runtime.errors import MeasurementError
+from ..runtime.errors import ContextValidationError, MeasurementError
 from ..runtime.retry import retry
 from ..world.region import Region
 from .model import GenDT
 from .uncertainty import mc_dropout_uncertainty
 
 logger = logging.getLogger(__name__)
+
+
+def _region_env_feature_count(region: Region) -> int:
+    """Environment-feature width the context pipeline will emit for a region.
+
+    Probes the region's land-use raster and PoI index directly (one cheap
+    query at the region origin) rather than trusting the global constant, so
+    a region built against a different attribute taxonomy is caught.
+    """
+    from .features import N_KINEMATIC_FEATURES
+
+    n_land_use = int(region.land_use.fractions.shape[-1])
+    n_poi = int(
+        len(region.pois.counts_within(region.frame.lat0, region.frame.lon0, 1.0))
+    )
+    return n_land_use + n_poi + N_KINEMATIC_FEATURES
 
 
 def transfer_model(model: GenDT, region: Region, copy_weights: bool = False) -> GenDT:
@@ -50,8 +66,23 @@ def transfer_model(model: GenDT, region: Region, copy_weights: bool = False) -> 
     That is the cheap choice when the original is disposable; pass
     ``copy_weights=True`` to deep-copy the weights so the pretrained model
     stays frozen while the transfer is fine-tuned.
+
+    Raises:
+        ContextValidationError: the new region's environment-attribute
+            count does not match the fitted generator's ``n_env`` — caught
+            here, at transfer time, instead of surfacing as a shape error
+            halfway through the first fine-tune.
     """
     model._require_fitted()
+    if model._n_env is not None:
+        region_n_env = _region_env_feature_count(region)
+        if region_n_env != model._n_env:
+            raise ContextValidationError(
+                f"region {region.cities[0].name!r} provides {region_n_env} "
+                f"environment features but the fitted generator expects "
+                f"n_env={model._n_env}; rebuild the region against the "
+                "attribute taxonomy the model was trained with"
+            )
     transferred = copy.deepcopy(model) if copy_weights else copy.copy(model)
     transferred.region = region
     transferred.context = ContextBuilder(

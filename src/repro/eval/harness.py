@@ -3,18 +3,26 @@
 One loop serves every fidelity table in the paper (Tables 3-8): for each
 method, generate the KPI series for every test record, compute MAE/DTW/HWD
 per KPI channel, and aggregate per scenario and overall.
+
+Evaluation sweeps share the serving layer's survival requirement: one
+record whose generation faults must not abort a multi-hour comparison.
+``on_error="skip"`` quarantines the failing (record, method) pair into
+``FidelityResult.failures`` and keeps sweeping.
 """
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from ..geo.trajectory import Trajectory
 from ..metrics.fidelity import evaluate_series
 from ..radio.simulator import DriveTestRecord
+
+logger = logging.getLogger(__name__)
 
 #: A generation method: anything with .generate(trajectory) -> [T, n_kpis].
 GenerateFn = Callable[[Trajectory], np.ndarray]
@@ -24,10 +32,16 @@ METRIC_NAMES = ("mae", "dtw", "hwd")
 
 @dataclass
 class FidelityResult:
-    """Nested metric store: scenario -> kpi -> metric -> value."""
+    """Nested metric store: scenario -> kpi -> metric -> value.
+
+    ``failures`` lists generation attempts skipped under
+    ``on_error="skip"``: one dict per failed attempt with the record index,
+    scenario, and the error string.
+    """
 
     method: str
     per_scenario: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+    failures: List[Dict[str, Any]] = field(default_factory=list)
 
     def scenarios(self) -> List[str]:
         return list(self.per_scenario.keys())
@@ -53,24 +67,49 @@ def evaluate_method(
     test_records: Sequence[DriveTestRecord],
     kpi_names: Sequence[str],
     n_generations: int = 1,
+    on_error: str = "raise",
 ) -> FidelityResult:
     """Fidelity of one method over a test set.
 
     With ``n_generations > 1`` the metrics are averaged over several
     independent generations (reduces evaluation variance for stochastic
     generators).
+
+    ``on_error`` controls survival of individual generation failures:
+    ``"raise"`` (default, historical behavior) propagates them;
+    ``"skip"`` records the failure in ``FidelityResult.failures`` and
+    continues with the remaining records — a shape mismatch, a runtime-
+    taxonomy error, or a raw generator crash each cost one sample, not the
+    sweep.
     """
+    if on_error not in ("raise", "skip"):
+        raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
     result = FidelityResult(method=method_name)
     acc: Dict[str, Dict[str, Dict[str, List[float]]]] = {}
-    for record in test_records:
+    for record_index, record in enumerate(test_records):
         real = record.kpi_matrix(list(kpi_names))
         for _ in range(n_generations):
-            generated = generate(record.trajectory)
-            if generated.shape != real.shape:
-                raise ValueError(
-                    f"{method_name} produced shape {generated.shape}, "
-                    f"expected {real.shape}"
+            try:
+                generated = generate(record.trajectory)
+                if generated.shape != real.shape:
+                    raise ValueError(
+                        f"{method_name} produced shape {generated.shape}, "
+                        f"expected {real.shape}"
+                    )
+            except Exception as exc:
+                if on_error == "raise":
+                    raise
+                failure = {
+                    "record": record_index,
+                    "scenario": record.scenario or "all",
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+                result.failures.append(failure)
+                logger.warning(
+                    "%s: skipping record %d (%s): %s",
+                    method_name, record_index, failure["scenario"], exc,
                 )
+                continue
             scenario = record.scenario or "all"
             for idx, kpi in enumerate(kpi_names):
                 metrics = evaluate_series(real[:, idx], generated[:, idx])
@@ -92,10 +131,17 @@ def compare_methods(
     test_records: Sequence[DriveTestRecord],
     kpi_names: Sequence[str],
     n_generations: int = 1,
+    on_error: str = "raise",
 ) -> Dict[str, FidelityResult]:
-    """Run every method over the same test set."""
+    """Run every method over the same test set.
+
+    ``on_error="skip"`` makes the sweep survive individual generation
+    failures (see :func:`evaluate_method`).
+    """
     return {
-        name: evaluate_method(name, gen, test_records, kpi_names, n_generations)
+        name: evaluate_method(
+            name, gen, test_records, kpi_names, n_generations, on_error=on_error
+        )
         for name, gen in methods.items()
     }
 

@@ -64,12 +64,20 @@ def dtw(
         xi = x[i - 1]
         costs = np.abs(xi - y[j_lo - 1 : j_hi])
         for j, cost in zip(range(j_lo, j_hi + 1), costs):
+            # Tie-break on path length symmetrically: among predecessors of
+            # equal cost, keep the shortest path.  "Up" and "left" swap when
+            # the arguments swap, so first-found tie-breaking would make the
+            # *normalized* distance depend on argument order.
             best = prev[j]
             steps = path_prev[j]
-            if prev[j - 1] < best:
+            if prev[j - 1] < best or (
+                prev[j - 1] == best and path_prev[j - 1] < steps
+            ):
                 best = prev[j - 1]
                 steps = path_prev[j - 1]
-            if cur[j - 1] < best:
+            if cur[j - 1] < best or (
+                cur[j - 1] == best and path_cur[j - 1] < steps
+            ):
                 best = cur[j - 1]
                 steps = path_cur[j - 1]
             cur[j] = cost + best

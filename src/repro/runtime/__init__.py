@@ -15,9 +15,12 @@ The pieces a production GenDT deployment leans on when things go wrong:
 
 from .errors import (
     CheckpointCorruptError,
+    CircuitOpenError,
     ContextValidationError,
+    DeadlineExceeded,
     DivergenceError,
     GenDTRuntimeError,
+    GenerationFaultError,
     MeasurementError,
     NumericalAnomalyError,
 )
@@ -32,7 +35,7 @@ from .checkpoint import (
     restore_trainer_state,
     write_checkpoint,
 )
-from .retry import backoff_schedule, retry
+from .retry import REAL_SLEEP, backoff_schedule, retry
 from .validate import validate_route, validate_trajectory, validate_windows
 
 __all__ = [
@@ -42,6 +45,9 @@ __all__ = [
     "ContextValidationError",
     "MeasurementError",
     "NumericalAnomalyError",
+    "DeadlineExceeded",
+    "CircuitOpenError",
+    "GenerationFaultError",
     "HealthGuard",
     "GuardEvent",
     "FAULT_KINDS",
@@ -55,6 +61,7 @@ __all__ = [
     "restore_trainer_state",
     "retry",
     "backoff_schedule",
+    "REAL_SLEEP",
     "validate_trajectory",
     "validate_route",
     "validate_windows",

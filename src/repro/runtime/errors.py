@@ -64,6 +64,63 @@ class MeasurementError(GenDTRuntimeError):
         self.attempts = attempts
 
 
+class DeadlineExceeded(GenDTRuntimeError):
+    """A wall-clock budget expired mid-generation.
+
+    ``scope`` names which budget tripped (``"trajectory"`` or
+    ``"campaign"``); ``budget_s``/``elapsed_s`` record the configured budget
+    and the time actually consumed when the deadline was detected.  The
+    serving runner converts this into a clean partial result instead of
+    letting it escape the campaign.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        scope: str = "trajectory",
+        budget_s: float = float("nan"),
+        elapsed_s: float = float("nan"),
+    ) -> None:
+        super().__init__(message)
+        self.scope = scope
+        self.budget_s = budget_s
+        self.elapsed_s = elapsed_s
+
+
+class CircuitOpenError(GenDTRuntimeError):
+    """The generation circuit breaker is open; the model is not callable.
+
+    ``cooldown_remaining_s`` says how long until the breaker will admit a
+    half-open probe.  The serving runner reacts by demoting straight to the
+    model-free FDaS rung of the degradation ladder.
+    """
+
+    def __init__(self, message: str, cooldown_remaining_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.cooldown_remaining_s = cooldown_remaining_s
+
+
+class GenerationFaultError(GenDTRuntimeError):
+    """One generation attempt failed (injected or real).
+
+    ``trajectory``/``window`` locate the fault within a campaign (−1 when
+    unknown); ``kind`` is a machine-readable fault class (e.g.
+    ``"exception"``, ``"non_finite_output"``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        trajectory: int = -1,
+        window: int = -1,
+        kind: str = "exception",
+    ) -> None:
+        super().__init__(message)
+        self.trajectory = trajectory
+        self.window = window
+        self.kind = kind
+
+
 class NumericalAnomalyError(GenDTRuntimeError):
     """A NaN/Inf surfaced on the autodiff tape under ``detect_anomaly``.
 

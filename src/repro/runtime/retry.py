@@ -16,9 +16,15 @@ import numpy as np
 
 T = TypeVar("T")
 
+#: The wall-clock sleep used when a caller wants real delays.  Serving-layer
+#: code must reference this (or take an injected sleep) instead of naming
+#: ``time.sleep`` directly — lint rule RTY001 enforces it, so every real
+#: cool-down flows through one audited spot and stays injectable in tests.
+REAL_SLEEP = time.sleep
+
 #: Sentinel distinguishing "use the real clock" from an explicit ``None``
 #: (= do not sleep at all, e.g. under test or when the callee is a simulator).
-_REAL_SLEEP = time.sleep
+_REAL_SLEEP = REAL_SLEEP
 
 
 def backoff_schedule(

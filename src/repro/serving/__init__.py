@@ -1,0 +1,72 @@
+"""Resilient batch-generation service for GenDT.
+
+The serving layer turns ``GenDT.generate`` — an all-or-nothing call — into a
+production-shaped campaign runtime: per-request admission and quarantine,
+wall-clock deadlines, a circuit breaker around the model, and a graceful
+degradation ladder (full GenDT → deterministic first stage → FDaS), all
+observable through structured result envelopes and deterministic under an
+injected clock and :class:`FaultPlan`.
+
+Quick tour::
+
+    from repro.serving import CampaignConfig, CampaignRunner
+
+    runner = CampaignRunner(model, fdas=fallback,
+                            config=CampaignConfig(trajectory_deadline_s=30.0))
+    result = runner.run(trajectories)          # never raises per-request
+    result.to_jsonl("campaign.jsonl")          # envelopes + fault log
+    print(result.summary())
+
+See the README's "Resilient generation" section for the envelope schema and
+the breaker/ladder semantics.
+"""
+
+from .breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    BreakerTransition,
+    CircuitBreaker,
+)
+from .envelope import (
+    DEGRADATION_LEVELS,
+    STATUS_CANCELLED,
+    STATUS_DEADLINE,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_QUARANTINED,
+    STATUSES,
+    CampaignResult,
+    FaultRecord,
+    GenerationEnvelope,
+)
+from .faults import FAULT_KINDS, FaultPlan, FiredFault
+from .ladder import LadderExecutor, levels_from, output_is_valid
+from .runner import CampaignConfig, CampaignRunner, ManualClock
+
+__all__ = [
+    "CampaignRunner",
+    "CampaignConfig",
+    "CampaignResult",
+    "GenerationEnvelope",
+    "FaultRecord",
+    "ManualClock",
+    "CircuitBreaker",
+    "BreakerTransition",
+    "STATE_CLOSED",
+    "STATE_OPEN",
+    "STATE_HALF_OPEN",
+    "FaultPlan",
+    "FiredFault",
+    "FAULT_KINDS",
+    "LadderExecutor",
+    "levels_from",
+    "output_is_valid",
+    "DEGRADATION_LEVELS",
+    "STATUSES",
+    "STATUS_OK",
+    "STATUS_QUARANTINED",
+    "STATUS_DEADLINE",
+    "STATUS_FAILED",
+    "STATUS_CANCELLED",
+]

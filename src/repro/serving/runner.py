@@ -1,0 +1,397 @@
+"""The resilient campaign runner: fault isolation for batch generation.
+
+``CampaignRunner.run`` takes a campaign (a sequence of trajectories) and
+returns one structured :class:`~repro.serving.envelope.GenerationEnvelope`
+per trajectory — it never lets a single bad request abort the batch.  The
+isolation layers, in the order a request meets them:
+
+1. **Admission / quarantine** — :func:`validate_trajectory` and
+   :func:`validate_windows` run per request; a failure quarantines that
+   trajectory with a machine-readable reason instead of raising.
+2. **Deadlines** — a wall-clock budget per trajectory and per campaign,
+   checked at every generation window; expiry yields a clean partial result
+   (``deadline_exceeded`` for the trajectory that tripped it,
+   ``cancelled`` envelopes for work never started).
+3. **Circuit breaker** — consecutive model faults open the breaker
+   (:class:`~repro.serving.breaker.CircuitBreaker`); while open, requests
+   demote straight to the model-free FDaS rung instead of hammering a
+   failing model.
+4. **Degradation ladder** — full stochastic GenDT → deterministic first
+   stage → FDaS, with NaN/Inf validation and bounded re-sampling before
+   each demotion (:mod:`repro.serving.ladder`); the achieved level is
+   recorded in the envelope.
+
+Clock and sleep are injectable (:class:`ManualClock`), and combined with a
+:class:`~repro.serving.faults.FaultPlan` plus ``CampaignConfig.seed`` every
+run is deterministic: the chaos tests re-run whole campaigns and compare
+the JSONL output byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import time
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..geo.trajectory import Trajectory
+from ..runtime.errors import (
+    ContextValidationError,
+    DeadlineExceeded,
+    GenDTRuntimeError,
+    GenerationFaultError,
+)
+from ..runtime.retry import REAL_SLEEP
+from ..runtime.validate import validate_trajectory, validate_windows
+from .breaker import CircuitBreaker
+from .envelope import (
+    STATUS_CANCELLED,
+    STATUS_DEADLINE,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_QUARANTINED,
+    CampaignResult,
+    FaultRecord,
+    GenerationEnvelope,
+)
+from .faults import FaultPlan
+from .ladder import LEVEL_FULL, LadderExecutor, levels_from, output_is_valid
+
+
+class ManualClock:
+    """A hand-advanced clock for deterministic serving runs.
+
+    Use as both ``clock`` and ``sleep``::
+
+        clock = ManualClock()
+        runner = CampaignRunner(model, clock=clock, sleep=clock.sleep)
+
+    Injected latency faults then advance virtual time only, so deadline and
+    breaker cool-down behavior is bit-reproducible and tests never wait.
+    """
+
+    def __init__(self, start_s: float = 0.0) -> None:
+        self.now_s = float(start_s)
+
+    def __call__(self) -> float:
+        return self.now_s
+
+    def sleep(self, seconds: float) -> None:
+        self.now_s += float(seconds)
+
+
+@dataclass
+class CampaignConfig:
+    """Tunables for one campaign run.
+
+    ``seed`` (when set) reseeds the model's generation RNG — and the FDaS
+    fallback's — before the campaign starts, making a re-run with the same
+    trajectories and :class:`FaultPlan` byte-identical.
+    """
+
+    trajectory_deadline_s: Optional[float] = None
+    campaign_deadline_s: Optional[float] = None
+    max_resamples: int = 1
+    breaker_threshold: int = 3
+    breaker_cooldown_base_s: float = 1.0
+    breaker_cooldown_factor: float = 2.0
+    start_level: str = LEVEL_FULL
+    seed: Optional[int] = None
+
+    def validate(self) -> None:
+        if self.max_resamples < 0:
+            raise ValueError("max_resamples must be >= 0")
+        for name in ("trajectory_deadline_s", "campaign_deadline_s"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive when set")
+        levels_from(self.start_level)  # raises on an unknown ladder level
+
+
+class CampaignRunner:
+    """Serve a batch-generation campaign with per-request fault isolation.
+
+    Args:
+        model: a fitted :class:`repro.core.GenDT`.
+        fdas: optional fitted :class:`repro.baselines.fdas.FDaS` fallback
+            (same KPI layout); without it the ladder has no model-free rung.
+        config: campaign tunables (:class:`CampaignConfig`).
+        fault_plan: optional :class:`FaultPlan` for deterministic chaos.
+        clock: monotonic-seconds source (default: ``time.monotonic``).
+        sleep: delay function used by injected latency faults (default:
+            :data:`repro.runtime.retry.REAL_SLEEP`; pass the
+            :class:`ManualClock`'s ``sleep`` in tests).
+    """
+
+    def __init__(
+        self,
+        model,
+        fdas=None,
+        config: Optional[CampaignConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        clock: Optional[Callable[[], float]] = None,
+        sleep: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        self.config = config or CampaignConfig()
+        self.config.validate()
+        self.executor = LadderExecutor(model, fdas=fdas)
+        self.fault_plan = fault_plan
+        self._clock = clock if clock is not None else time.monotonic
+        self._sleep = sleep if sleep is not None else REAL_SLEEP
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_threshold,
+            cooldown_base_s=self.config.breaker_cooldown_base_s,
+            cooldown_factor=self.config.breaker_cooldown_factor,
+            seed=self.config.seed or 0,
+            clock=self._clock,
+        )
+
+    # ------------------------------------------------------------------
+    # Campaign loop
+    # ------------------------------------------------------------------
+    def run(self, trajectories: Sequence[Trajectory]) -> CampaignResult:
+        """Serve every trajectory; never raises for per-request faults."""
+        if self.config.seed is not None:
+            self._reseed(self.config.seed)
+        result = CampaignResult()
+        started_s = self._clock()
+        campaign_deadline = (
+            started_s + self.config.campaign_deadline_s
+            if self.config.campaign_deadline_s is not None
+            else None
+        )
+        for index, trajectory in enumerate(trajectories):
+            if campaign_deadline is not None and self._clock() >= campaign_deadline:
+                result.deadline_hit = True
+                fault = FaultRecord(
+                    trajectory=index, window=-1, level="admission",
+                    kind="campaign_deadline",
+                    detail="campaign budget exhausted before this trajectory",
+                )
+                result.fault_log.append(fault)
+                result.envelopes.append(
+                    GenerationEnvelope(
+                        trajectory=index, status=STATUS_CANCELLED,
+                        faults=[fault],
+                    )
+                )
+                continue
+            envelope = self._serve_one(
+                index, trajectory, campaign_deadline, result.fault_log
+            )
+            if envelope.status == STATUS_DEADLINE and any(
+                f.kind == "campaign_deadline" for f in envelope.faults
+            ):
+                result.deadline_hit = True
+            result.envelopes.append(envelope)
+        result.breaker_transitions = [
+            t.as_dict() for t in self.breaker.transitions
+        ]
+        result.elapsed_s = self._clock() - started_s
+        return result
+
+    # ------------------------------------------------------------------
+    # One request
+    # ------------------------------------------------------------------
+    def _serve_one(
+        self,
+        index: int,
+        trajectory: Trajectory,
+        campaign_deadline: Optional[float],
+        fault_log: List[FaultRecord],
+    ) -> GenerationEnvelope:
+        model = self.executor.model
+        started_s = self._clock()
+        trajectory_deadline = (
+            started_s + self.config.trajectory_deadline_s
+            if self.config.trajectory_deadline_s is not None
+            else None
+        )
+        faults: List[FaultRecord] = []
+
+        def record(kind: str, window: int, level: str, detail: str) -> FaultRecord:
+            fault = FaultRecord(
+                trajectory=index, window=window, level=level,
+                kind=kind, detail=detail,
+            )
+            faults.append(fault)
+            fault_log.append(fault)
+            return fault
+
+        def finish(envelope: GenerationEnvelope) -> GenerationEnvelope:
+            envelope.faults = faults
+            envelope.elapsed_s = self._clock() - started_s
+            return envelope
+
+        # 1. Admission: quarantine instead of raising.
+        try:
+            validate_trajectory(trajectory)
+            windows = model.context.generation_windows(
+                trajectory, model._batch_len(len(trajectory))
+            )
+            validate_windows(windows)
+        except ContextValidationError as exc:
+            record("quarantined", exc.index, "admission", str(exc))
+            return finish(
+                GenerationEnvelope(
+                    trajectory=index,
+                    status=STATUS_QUARANTINED,
+                    quarantine_reason={"error": str(exc), "index": exc.index},
+                )
+            )
+
+        # 2-4. Ladder with breaker and deadlines.
+        progress = {"windows": 0}
+        resamples = 0
+        for level in self.executor.available_levels(self.config.start_level):
+            uses_model = self.executor.uses_model(level)
+            for attempt in range(self.config.max_resamples + 1):
+                if uses_model and not self.breaker.allow():
+                    record(
+                        "breaker_open", -1, level,
+                        f"circuit open; {self.breaker.cooldown_remaining_s():.3f}s "
+                        "cooldown remaining",
+                    )
+                    break  # demote without touching the model
+                hook = self._window_hook(
+                    index, level, trajectory_deadline, campaign_deadline,
+                    started_s, progress, record,
+                )
+                try:
+                    series = self.executor.attempt(
+                        trajectory, level, window_hook=hook
+                    )
+                except DeadlineExceeded as exc:
+                    record(
+                        f"{exc.scope}_deadline", progress["windows"], level,
+                        str(exc),
+                    )
+                    return finish(
+                        GenerationEnvelope(
+                            trajectory=index,
+                            status=STATUS_DEADLINE,
+                            windows_completed=progress["windows"],
+                            resamples=resamples,
+                        )
+                    )
+                except GenerationFaultError as exc:
+                    record("exception", exc.window, level, str(exc))
+                    if uses_model:
+                        self.breaker.record_failure()
+                    break  # infrastructure fault: demote, don't re-sample
+                except GenDTRuntimeError as exc:
+                    record("exception", -1, level, str(exc))
+                    if uses_model:
+                        self.breaker.record_failure()
+                    break
+                except Exception as exc:
+                    # Fault-isolation boundary: a raw error from deep inside
+                    # the generator must not abort the campaign.  Normalize
+                    # it into the taxonomy before recording.
+                    wrapped = GenerationFaultError(
+                        f"unexpected {type(exc).__name__}: {exc}",
+                        trajectory=index, kind="exception",
+                    )
+                    wrapped.__cause__ = exc
+                    record("exception", -1, level, str(wrapped))
+                    if uses_model:
+                        self.breaker.record_failure()
+                    break
+                if output_is_valid(series):
+                    if uses_model:
+                        self.breaker.record_success()
+                    return finish(
+                        GenerationEnvelope(
+                            trajectory=index,
+                            status=STATUS_OK,
+                            level=level,
+                            series=series,
+                            kpi_names=list(model.kpi_names),
+                            windows_completed=progress["windows"],
+                            resamples=resamples,
+                        )
+                    )
+                record(
+                    "non_finite_output", -1, level,
+                    "generated series contains NaN/Inf",
+                )
+                if uses_model:
+                    self.breaker.record_failure()
+                if attempt < self.config.max_resamples:
+                    resamples += 1
+        return finish(
+            GenerationEnvelope(
+                trajectory=index,
+                status=STATUS_FAILED,
+                windows_completed=progress["windows"],
+                resamples=resamples,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Per-window hook: chaos injection + deadline enforcement
+    # ------------------------------------------------------------------
+    def _window_hook(
+        self,
+        index: int,
+        level: str,
+        trajectory_deadline: Optional[float],
+        campaign_deadline: Optional[float],
+        started_s: float,
+        progress: dict,
+        record: Callable[[str, int, str, str], FaultRecord],
+    ):
+        def hook(window_index: int, out: np.ndarray) -> Optional[np.ndarray]:
+            replacement: Optional[np.ndarray] = None
+            if self.fault_plan is not None:
+                fired = self.fault_plan.pop(
+                    "latency", index, window_index, level
+                )
+                if fired is not None:
+                    record(
+                        "latency", window_index, level,
+                        f"injected {fired.latency_s}s stall",
+                    )
+                    self._sleep(fired.latency_s)
+                if self.fault_plan.pop(
+                    "exception", index, window_index, level
+                ) is not None:
+                    raise GenerationFaultError(
+                        "injected generation fault",
+                        trajectory=index, window=window_index,
+                        kind="exception",
+                    )
+                if self.fault_plan.pop(
+                    "nan_output", index, window_index, level
+                ) is not None:
+                    replacement = np.full_like(np.asarray(out, dtype=float), np.nan)
+            now = self._clock()
+            if campaign_deadline is not None and now >= campaign_deadline:
+                raise DeadlineExceeded(
+                    "campaign wall-clock budget exhausted mid-trajectory",
+                    scope="campaign",
+                    budget_s=self.config.campaign_deadline_s or float("nan"),
+                    elapsed_s=now - started_s,
+                )
+            if trajectory_deadline is not None and now >= trajectory_deadline:
+                raise DeadlineExceeded(
+                    "trajectory wall-clock budget exhausted",
+                    scope="trajectory",
+                    budget_s=self.config.trajectory_deadline_s or float("nan"),
+                    elapsed_s=now - started_s,
+                )
+            progress["windows"] = window_index + 1
+            return replacement
+
+        return hook
+
+    # ------------------------------------------------------------------
+    # Determinism
+    # ------------------------------------------------------------------
+    def _reseed(self, seed: int) -> None:
+        """Reset generation RNG state in place (shared by every submodule)."""
+        state = np.random.default_rng(seed).bit_generator.state
+        self.executor.model.rng.bit_generator.state = state
+        if self.executor.fdas is not None:
+            self.executor.fdas.reseed(seed + 1)

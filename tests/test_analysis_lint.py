@@ -269,6 +269,63 @@ class TestGRD001:
         assert violations == []
 
 
+class TestRTY001:
+    def _serving_file(self, tmp_path, code):
+        package = tmp_path / "repro" / "serving"
+        package.mkdir(parents=True)
+        path = package / "module.py"
+        path.write_text(code, encoding="utf-8")
+        return lint_file(path)
+
+    def test_flags_time_sleep_in_serving(self, tmp_path):
+        violations = self._serving_file(
+            tmp_path,
+            "import time\n\n\ndef cool_down():\n    time.sleep(1.0)\n",
+        )
+        assert rule_ids(violations) == ["RTY001"]
+        assert violations[0].line == 5
+
+    def test_flags_wall_clock_read_in_serving(self, tmp_path):
+        violations = self._serving_file(
+            tmp_path,
+            "import time\n\n\ndef now():\n    return time.time()\n",
+        )
+        assert rule_ids(violations) == ["RTY001"]
+
+    def test_flags_sleep_import_in_serving(self, tmp_path):
+        violations = self._serving_file(
+            tmp_path, "from time import sleep\n"
+        )
+        assert rule_ids(violations) == ["RTY001"]
+
+    def test_outside_serving_is_fine(self, tmp_path):
+        violations = lint_snippet(
+            tmp_path,
+            "import time\n\n\ndef cool_down():\n    time.sleep(1.0)\n",
+        )
+        assert "RTY001" not in rule_ids(violations)
+
+    def test_injectable_contract_is_fine(self, tmp_path):
+        violations = self._serving_file(
+            tmp_path,
+            "import time\n"
+            "from repro.runtime.retry import REAL_SLEEP\n"
+            "\n"
+            "\n"
+            "def make(clock=time.monotonic, sleep=REAL_SLEEP):\n"
+            "    return clock, sleep\n",
+        )
+        assert violations == []
+
+    def test_suppressed(self, tmp_path):
+        violations = self._serving_file(
+            tmp_path,
+            "import time\n\n\ndef f():\n"
+            "    time.sleep(0.1)  # repro: noqa[RTY001]\n",
+        )
+        assert violations == []
+
+
 class TestEngine:
     def test_syntax_error_reported_not_raised(self, tmp_path):
         violations = lint_snippet(tmp_path, "def broken(:\n")
@@ -307,9 +364,9 @@ class TestEngine:
         assert "snippet.py:2:" in text and "RNG001" in text
 
     def test_registry_has_all_documented_rules(self):
-        assert {"RNG001", "EXC001", "TEN001", "SEED001", "FLT001", "GRD001"} <= set(
-            RULES
-        )
+        assert {
+            "RNG001", "EXC001", "TEN001", "SEED001", "FLT001", "GRD001", "RTY001"
+        } <= set(RULES)
 
     def test_main_exit_codes(self, tmp_path, capsys):
         clean = tmp_path / "clean.py"

@@ -48,6 +48,17 @@ class TestDTW:
         x, y = rng.normal(size=40), rng.normal(size=40)
         assert dtw(x, y) == pytest.approx(dtw(y, x))
 
+    def test_symmetry_under_alignment_ties(self):
+        # Near-constant series (quantized KPIs) produce many equal-cost
+        # alignment paths of different lengths; the normalization's
+        # tie-breaking must not depend on argument order.
+        x = np.full(20, -43.0)
+        x[9] = -40.0
+        y = np.full(20, -43.0)
+        y[3] = -40.0
+        y[15] = -44.0
+        assert dtw(x, y) == pytest.approx(dtw(y, x), rel=1e-12)
+
     def test_different_lengths(self, rng):
         x = rng.normal(size=50)
         y = rng.normal(size=70)

@@ -1,0 +1,192 @@
+"""Unit tests for the serving circuit breaker and the chaos fault plan.
+
+Everything here is model-free and clock-injected: the breaker state machine
+is driven with a hand-advanced fake clock, so no test ever sleeps.
+"""
+
+import pytest
+
+from repro.runtime.errors import CircuitOpenError
+from repro.serving import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    CircuitBreaker,
+    FaultPlan,
+    ManualClock,
+)
+
+
+def make_breaker(clock, threshold=3, base=1.0, factor=2.0, seed=0):
+    return CircuitBreaker(
+        failure_threshold=threshold,
+        cooldown_base_s=base,
+        cooldown_factor=factor,
+        seed=seed,
+        clock=clock,
+    )
+
+
+class TestBreakerStateMachine:
+    def test_starts_closed_and_allows(self):
+        breaker = make_breaker(ManualClock())
+        assert breaker.state == STATE_CLOSED
+        assert breaker.allow()
+        breaker.check()  # must not raise
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = make_breaker(ManualClock(), threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == STATE_CLOSED
+        breaker.record_failure()
+        assert breaker.state == STATE_OPEN
+        assert breaker.trip_count == 1
+        assert not breaker.allow()
+
+    def test_success_resets_consecutive_count(self):
+        breaker = make_breaker(ManualClock(), threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == STATE_CLOSED  # never two in a row
+
+    def test_check_raises_with_remaining_cooldown(self):
+        clock = ManualClock()
+        breaker = make_breaker(clock, threshold=1, base=5.0)
+        breaker.record_failure()
+        with pytest.raises(CircuitOpenError) as excinfo:
+            breaker.check()
+        assert excinfo.value.cooldown_remaining_s > 0.0
+
+    def test_half_open_probe_success_closes(self):
+        clock = ManualClock()
+        breaker = make_breaker(clock, threshold=1)
+        breaker.record_failure()
+        assert breaker.state == STATE_OPEN
+        clock.sleep(breaker.current_cooldown_s() + 0.01)
+        assert breaker.allow()  # admits the probe
+        assert breaker.state == STATE_HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == STATE_CLOSED
+
+    def test_half_open_probe_failure_reopens_with_longer_cooldown(self):
+        clock = ManualClock()
+        breaker = make_breaker(clock, threshold=1, base=1.0, factor=2.0)
+        breaker.record_failure()
+        first_cooldown = breaker.current_cooldown_s()
+        clock.sleep(first_cooldown + 0.01)
+        assert breaker.allow()
+        breaker.record_failure()  # probe fails
+        assert breaker.state == STATE_OPEN
+        assert breaker.trip_count == 2
+        assert breaker.current_cooldown_s() > first_cooldown
+
+    def test_cooldown_remaining_decreases_with_clock(self):
+        clock = ManualClock()
+        breaker = make_breaker(clock, threshold=1, base=4.0)
+        breaker.record_failure()
+        before = breaker.cooldown_remaining_s()
+        clock.sleep(1.0)
+        after = breaker.cooldown_remaining_s()
+        assert 0.0 < after < before
+
+    def test_transitions_are_recorded_in_order(self):
+        clock = ManualClock()
+        breaker = make_breaker(clock, threshold=1)
+        breaker.record_failure()
+        clock.sleep(breaker.current_cooldown_s() + 0.01)
+        breaker.allow()
+        breaker.record_success()
+        states = [(t.from_state, t.to_state) for t in breaker.transitions]
+        assert states == [
+            (STATE_CLOSED, STATE_OPEN),
+            (STATE_OPEN, STATE_HALF_OPEN),
+            (STATE_HALF_OPEN, STATE_CLOSED),
+        ]
+
+    def test_cooldowns_deterministic_per_seed(self):
+        a = make_breaker(ManualClock(), seed=5)
+        b = make_breaker(ManualClock(), seed=5)
+        c = make_breaker(ManualClock(), seed=6)
+        assert a._cooldowns == b._cooldowns
+        assert a._cooldowns != c._cooldowns
+
+    def test_cooldown_schedule_clamps_after_many_trips(self):
+        clock = ManualClock()
+        breaker = make_breaker(clock, threshold=1)
+        for _ in range(20):  # far beyond max_trips
+            breaker.record_failure()
+            clock.sleep(breaker.current_cooldown_s() + 0.01)
+            assert breaker.allow()
+        assert breaker.current_cooldown_s() == breaker._cooldowns[-1]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_base_s=-1.0)
+
+
+class TestFaultPlan:
+    def test_exact_coordinate_match(self):
+        plan = FaultPlan().inject("exception", trajectory=2, window=3, level="full")
+        assert plan.pop("exception", 2, 3, "full") is not None
+        assert plan.pop("exception", 2, 3, "full") is None  # spent
+
+    def test_wildcards_match_any_window_and_level(self):
+        plan = FaultPlan().inject("nan_output", trajectory=1, times=2)
+        assert plan.pop("nan_output", 1, 0, "full") is not None
+        assert plan.pop("nan_output", 1, 7, "first_stage") is not None
+        assert plan.pop("nan_output", 1, 0, "full") is None
+
+    def test_level_filter_blocks_other_levels(self):
+        plan = FaultPlan().inject("nan_output", trajectory=0, level="full", times=None)
+        assert plan.pop("nan_output", 0, 0, "first_stage") is None
+        assert plan.pop("nan_output", 0, 0, "full") is not None
+
+    def test_unlimited_injection_never_spends(self):
+        plan = FaultPlan().inject("nan_output", trajectory=0, times=None)
+        for window in range(10):
+            assert plan.pop("nan_output", 0, window, "full") is not None
+        assert plan.pending() == 1
+
+    def test_wrong_trajectory_or_kind_does_not_fire(self):
+        plan = FaultPlan().inject("exception", trajectory=4)
+        assert plan.pop("exception", 5, 0, "full") is None
+        assert plan.pop("nan_output", 4, 0, "full") is None
+        assert plan.pending() == 1
+
+    def test_fired_log_records_actual_coordinates(self):
+        plan = FaultPlan().inject("latency", trajectory=1, latency_s=2.5)
+        fired = plan.pop("latency", 1, 6, "first_stage")
+        assert fired.latency_s == 2.5
+        assert [f.as_dict() for f in plan.fired] == [
+            {
+                "kind": "latency",
+                "trajectory": 1,
+                "window": 6,
+                "level": "first_stage",
+                "latency_s": 2.5,
+            }
+        ]
+
+    def test_invalid_injections_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan().inject("meteor_strike", trajectory=0)
+        with pytest.raises(ValueError):
+            FaultPlan().inject("exception", trajectory=0, times=0)
+        with pytest.raises(ValueError):
+            FaultPlan().inject("latency", trajectory=0)  # latency_s missing
+
+    def test_chaining_returns_self(self):
+        plan = FaultPlan()
+        assert plan.inject("exception", trajectory=0) is plan
+
+
+class TestManualClock:
+    def test_reads_and_advances(self):
+        clock = ManualClock(start_s=10.0)
+        assert clock() == 10.0
+        clock.sleep(2.5)
+        assert clock() == 12.5
