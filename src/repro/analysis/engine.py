@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import ast
+import json
 import re
 import sys
 from dataclasses import dataclass, field
@@ -43,6 +44,16 @@ class Violation:
 
     def format(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> Dict[str, Union[str, int]]:
+        """JSON-serializable form (for ``--format json`` and CI tooling)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
 
 
 @dataclass
@@ -176,6 +187,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="comma-separated rule IDs to run (default: all)",
     )
     parser.add_argument(
+        "--ignore",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule IDs to skip (applied after --select)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="output_format",
+        help="violation output format (default: text)",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="print the rule table and exit"
     )
     args = parser.parse_args(argv)
@@ -185,19 +209,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{rule_id}  {RULES[rule_id].summary}")
         return 0
 
+    def parse_rule_list(raw: str, flag: str) -> Optional[List[str]]:
+        rule_ids = [part.strip().upper() for part in raw.split(",") if part.strip()]
+        unknown = [rule_id for rule_id in rule_ids if rule_id not in RULES]
+        if unknown:
+            print(f"unknown rule(s) in {flag}: {', '.join(unknown)}", file=sys.stderr)
+            return None
+        return rule_ids
+
     select = None
     if args.select is not None:
-        select = [part.strip().upper() for part in args.select.split(",") if part.strip()]
-        unknown = [rule_id for rule_id in select if rule_id not in RULES]
-        if unknown:
-            print(f"unknown rule(s): {', '.join(unknown)}", file=sys.stderr)
+        select = parse_rule_list(args.select, "--select")
+        if select is None:
             return 2
+    if args.ignore is not None:
+        ignored = parse_rule_list(args.ignore, "--ignore")
+        if ignored is None:
+            return 2
+        select = [
+            rule_id
+            for rule_id in (select if select is not None else sorted(RULES))
+            if rule_id not in ignored
+        ]
 
     try:
         violations = lint_paths(args.paths, select=select)
     except FileNotFoundError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if args.output_format == "json":
+        print(json.dumps([v.to_dict() for v in violations], indent=2))
+        return 1 if violations else 0
     for violation in violations:
         print(violation.format())
     if violations:

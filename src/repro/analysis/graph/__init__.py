@@ -1,0 +1,34 @@
+"""Symbolic graph verification for :mod:`repro.nn` models.
+
+Traces a module's real ``forward`` over :class:`SymbolicTensor` probes —
+named dims, tiny shadow arrays, no real compute — checking the per-module
+``@contract`` shape/dtype declarations and auditing gradient flow (dead
+weights, ``detach()``/``no_grad``-severed paths).
+
+Only the contract *language* (:mod:`~repro.analysis.graph.spec`) is imported
+eagerly: model modules decorate themselves with :func:`contract`, so this
+package must stay import-light to avoid a cycle with ``repro.nn``.  The
+tracer and verifier load on the first :func:`verify` call.
+"""
+
+from .spec import ANY, Contract, Dim, DimEnv, Spec, contract, render_dims
+
+__all__ = [
+    "ANY",
+    "Contract",
+    "Dim",
+    "DimEnv",
+    "Spec",
+    "contract",
+    "render_dims",
+    "verify",
+]
+
+
+def verify(module, contract=None, raise_on_error=False):
+    """Verify a module against its ``@contract``; see
+    :func:`repro.analysis.graph.verifier.verify` (lazy import keeps the
+    decorator path light)."""
+    from .verifier import verify as _verify
+
+    return _verify(module, contract=contract, raise_on_error=raise_on_error)

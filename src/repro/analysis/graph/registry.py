@@ -1,0 +1,258 @@
+"""Registry of shipped model builders for ``repro verify-graph``.
+
+Every contracted model class in :mod:`repro.core`, :mod:`repro.baselines`
+and :mod:`repro.nn.lstm` gets a small representative instance here so the
+CLI (and the CI gate) can verify the whole model zoo in one sweep.
+
+:func:`seeded_defects` additionally builds modules with *known* graph bugs —
+a mis-sized ResGen AR window, an accidental broadcast in a residual add, and
+a parameter unreachable from the loss — used by ``verify-graph --self-test``
+to prove the verifier actually catches the defect classes it claims to.
+
+This module imports the model packages, so it must only be loaded from the
+CLI/tests, never from :mod:`repro.analysis.graph` itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+import numpy as np
+
+from ... import nn
+from ...baselines.doppelganger import _DGDiscriminator, _DGGenerator
+from ...baselines.lstm_gnn import _LstmGnnNet
+from ...context.normalize import N_CELL_FEATURES
+from ...core.config import small_config
+from ...core.generator import GenDTGenerator
+from ...core.networks import (
+    AggregationNetwork,
+    Discriminator,
+    GnnNodeNetwork,
+    ResGen,
+)
+from ...core.stochastic_lstm import StochasticLSTM
+from .spec import Spec, contract
+
+__all__ = ["DefectEntry", "RegistryEntry", "seeded_defects", "shipped_entries"]
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One verifiable shipped model: name, description, seeded builder."""
+
+    name: str
+    description: str
+    build: Callable[[int], nn.Module]
+
+
+@dataclass(frozen=True)
+class DefectEntry:
+    """A deliberately broken module and a substring the error must contain."""
+
+    name: str
+    description: str
+    build: Callable[[int], nn.Module]
+    expect: str
+
+
+def _build_linear(seed: int = 0) -> nn.Module:
+    return nn.Linear(12, 6, np.random.default_rng(seed))
+
+
+def _build_mlp(seed: int = 0) -> nn.Module:
+    return nn.MLP(12, [16, 8], 4, np.random.default_rng(seed), dropout=0.2)
+
+
+def _build_lstm_cell(seed: int = 0) -> nn.Module:
+    return nn.LSTMCell(9, 14, np.random.default_rng(seed))
+
+
+def _build_lstm(seed: int = 0) -> nn.Module:
+    return nn.LSTM(9, 14, np.random.default_rng(seed), num_layers=2)
+
+
+def _build_lstm_regressor(seed: int = 0) -> nn.Module:
+    return nn.LSTMRegressor(9, 14, 3, np.random.default_rng(seed))
+
+
+def _build_stochastic_lstm(seed: int = 0) -> nn.Module:
+    return StochasticLSTM(9, 14, np.random.default_rng(seed))
+
+
+def _build_gnn_node(seed: int = 0) -> nn.Module:
+    return GnnNodeNetwork(N_CELL_FEATURES, small_config(), np.random.default_rng(seed))
+
+
+def _build_aggregation(seed: int = 0) -> nn.Module:
+    return AggregationNetwork(2, small_config(), np.random.default_rng(seed))
+
+
+def _build_resgen(seed: int = 0) -> nn.Module:
+    return ResGen(28, 2, small_config(), np.random.default_rng(seed))
+
+
+def _build_discriminator(seed: int = 0) -> nn.Module:
+    return Discriminator(2, small_config(), np.random.default_rng(seed))
+
+
+def _build_gendt_generator(seed: int = 0) -> nn.Module:
+    return GenDTGenerator(2, 28, small_config(), np.random.default_rng(seed))
+
+
+def _build_gendt_generator_no_resgen(seed: int = 0) -> nn.Module:
+    return GenDTGenerator(
+        2, 28, small_config(use_resgen=False), np.random.default_rng(seed)
+    )
+
+
+def _build_lstm_gnn(seed: int = 0) -> nn.Module:
+    return _LstmGnnNet(N_CELL_FEATURES, 16, 2, np.random.default_rng(seed))
+
+
+def _build_dg_generator(seed: int = 0) -> nn.Module:
+    return _DGGenerator(10, 4, 16, 2, np.random.default_rng(seed))
+
+
+def _build_dg_discriminator(seed: int = 0) -> nn.Module:
+    return _DGDiscriminator(10, 2, 16, np.random.default_rng(seed))
+
+
+def shipped_entries() -> List[RegistryEntry]:
+    """Every shipped contracted model class, smallest sensible instance."""
+    return [
+        RegistryEntry("linear", "nn.Linear affine layer", _build_linear),
+        RegistryEntry("mlp", "nn.MLP with dropout", _build_mlp),
+        RegistryEntry("lstm_cell", "nn.LSTMCell single step", _build_lstm_cell),
+        RegistryEntry("lstm", "nn.LSTM, 2 stacked layers", _build_lstm),
+        RegistryEntry("lstm_regressor", "nn.LSTMRegressor", _build_lstm_regressor),
+        RegistryEntry(
+            "stochastic_lstm", "GenDT SRNN layer (noise-injected LSTM)",
+            _build_stochastic_lstm,
+        ),
+        RegistryEntry("gnn_node", "G_n node network", _build_gnn_node),
+        RegistryEntry("aggregation", "G_a aggregation network", _build_aggregation),
+        RegistryEntry("resgen", "G_r residual generator", _build_resgen),
+        RegistryEntry("discriminator", "GenDT discriminator R", _build_discriminator),
+        RegistryEntry(
+            "gendt_generator", "full GenDT generator (teacher-forced)",
+            _build_gendt_generator,
+        ),
+        RegistryEntry(
+            "gendt_generator_no_resgen", "GenDT generator, ResGen ablated",
+            _build_gendt_generator_no_resgen,
+        ),
+        RegistryEntry("lstm_gnn", "LSTM-GNN baseline network", _build_lstm_gnn),
+        RegistryEntry("dg_generator", "DoppelGANger stage-2 generator", _build_dg_generator),
+        RegistryEntry(
+            "dg_discriminator", "DoppelGANger discriminator", _build_dg_discriminator
+        ),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Seeded defects: modules with known graph bugs the verifier must catch.
+# ----------------------------------------------------------------------
+@contract(
+    inputs={"x": Spec("B", "L", "C")},
+    outputs=Spec("B", "L", "C"),
+    dims={"C": "head.out_features"},
+)
+class _BroadcastResidualNet(nn.Module):
+    """Defect: the residual add manufactures a plain size-1 axis via reshape,
+    silently broadcasting the *last step* over the whole sequence."""
+
+    def __init__(self, n_channels: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.head = nn.Linear(n_channels, n_channels, rng)
+
+    def forward(self, x):
+        base = self.head(x)
+        last = base[:, -1, :]
+        residual = last.reshape(x.shape[0], 1, self.head.out_features)
+        return base + residual
+
+
+@contract(
+    inputs={"x": Spec("B", "F")},
+    outputs=Spec("B", "O"),
+    dims={"F": "used.in_features", "O": "used.out_features"},
+)
+class _DeadWeightNet(nn.Module):
+    """Defect: a registered layer the forward pass never touches."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.used = nn.Linear(8, 4, rng)
+        self.orphan = nn.Linear(8, 4, rng)
+
+    def forward(self, x):
+        return self.used(x)
+
+
+@contract(
+    inputs={"x": Spec("B", "F")},
+    outputs=Spec("B", "O"),
+    dims={"F": "stem.in_features", "O": "stem.out_features"},
+)
+class _DetachedHeadNet(nn.Module):
+    """Defect: the output reaches its parameters only through detach()."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.stem = nn.Linear(8, 8, rng)
+
+    def forward(self, x):
+        return self.stem(x).detach()
+
+
+def _build_miswindowed_resgen(seed: int = 0) -> nn.Module:
+    config = small_config()
+    module = ResGen(28, 2, config, np.random.default_rng(seed))
+    # Simulates loading weights trained with a different AR window m: the
+    # recent-residuals input no longer matches the MLP's first layer.
+    module.ar_window = config.resgen_ar_window + 2
+    return module
+
+
+def _build_broadcast_residual(seed: int = 0) -> nn.Module:
+    return _BroadcastResidualNet(3, np.random.default_rng(seed))
+
+
+def _build_dead_weight(seed: int = 0) -> nn.Module:
+    return _DeadWeightNet(np.random.default_rng(seed))
+
+
+def _build_detached_head(seed: int = 0) -> nn.Module:
+    return _DetachedHeadNet(np.random.default_rng(seed))
+
+
+def seeded_defects() -> List[DefectEntry]:
+    """(name, builder, expected-error-substring) triples for --self-test."""
+    return [
+        DefectEntry(
+            "resgen_miswindowed",
+            "ResGen AR window m disagrees with the trained MLP input width",
+            _build_miswindowed_resgen,
+            "mlp",
+        ),
+        DefectEntry(
+            "broadcast_residual",
+            "residual add silently broadcasts a reshape-made size-1 axis",
+            _build_broadcast_residual,
+            "broadcast",
+        ),
+        DefectEntry(
+            "dead_weight",
+            "registered parameter unreachable from the outputs",
+            _build_dead_weight,
+            "dead",
+        ),
+        DefectEntry(
+            "detached_head",
+            "gradient path severed by detach()",
+            _build_detached_head,
+            "severed",
+        ),
+    ]

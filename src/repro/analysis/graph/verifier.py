@@ -1,0 +1,205 @@
+"""The verifier: one-shot symbolic verification of a contracted module.
+
+:func:`verify` builds probe inputs from the module's ``@contract``, traces
+the entry method with :class:`~repro.analysis.graph.trace.TraceSession`
+(shape/dtype contract checks fire inside the trace), then runs the
+gradient-flow audit over the symbolic outputs:
+
+* **dead parameters** — registered parameters whose value never reaches any
+  output (a mis-wired or orphaned submodule);
+* **severed parameters** — parameters that reach an output, but only
+  through ``detach()``/``no_grad`` paths, so no gradient can flow back;
+* **no grad path** — a module with trainable parameters whose outputs carry
+  no gradient path at all.
+
+Determinism: traced forwards draw from the module's own
+``np.random.Generator`` objects (noise injection, dropout, z0/z1).  The
+verifier snapshots every generator reachable from the module tree before
+tracing and restores it after, so calling :func:`verify` inside
+``GenDT.fit``/``GenDT.load`` does not shift the seeded streams — training is
+bit-identical with verification on or off.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...nn.module import Module
+from ...nn.tensor import Tensor
+from ...runtime.errors import GraphContractError
+from .spec import Contract, DimEnv
+from .symbolic import SymbolicTensor
+from .trace import TraceSession
+
+__all__ = ["Report", "verify"]
+
+
+@dataclass
+class Report:
+    """Outcome of one :func:`verify` run."""
+
+    module: str
+    method: str
+    violations: List[GraphContractError] = field(default_factory=list)
+    dead_params: List[str] = field(default_factory=list)
+    severed_params: List[Tuple[str, str, str]] = field(default_factory=list)
+    no_grad_output: bool = False
+    bound_dims: Dict[str, int] = field(default_factory=dict)
+    n_params: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not (
+            self.violations
+            or self.dead_params
+            or self.severed_params
+            or self.no_grad_output
+        )
+
+    def format(self) -> str:
+        dims = ", ".join(f"{k}={v}" for k, v in sorted(self.bound_dims.items()))
+        head = f"{self.module}.{self.method} ({dims or 'no bound dims'}, {self.n_params} params)"
+        if self.ok:
+            return f"ok    {head}"
+        lines = [f"FAIL  {head}"]
+        for violation in self.violations:
+            lines.append(f"      contract violation: {violation}")
+        for name in self.dead_params:
+            lines.append(
+                f"      dead parameter (unreachable from outputs): {name}"
+            )
+        for name, op, path in self.severed_params:
+            lines.append(
+                f"      severed gradient: {name} reaches the output only "
+                f"through {op!r} at {path}"
+            )
+        if self.no_grad_output:
+            lines.append(
+                "      no grad path: outputs carry no gradient route to any parameter"
+            )
+        return "\n".join(lines)
+
+    def first_error(self) -> GraphContractError:
+        """The violation to raise when ``raise_on_error`` is set."""
+        if self.violations:
+            return self.violations[0]
+        details = []
+        if self.dead_params:
+            details.append(f"dead parameters {self.dead_params}")
+        for name, op, path in self.severed_params:
+            details.append(f"gradient to {name!r} severed by {op!r} at {path}")
+        if self.no_grad_output:
+            details.append("outputs have no grad path to any parameter")
+        return GraphContractError(
+            f"{self.module}.{self.method}: gradient-flow audit failed: "
+            + "; ".join(details),
+            module_path=self.module,
+            op="grad_audit",
+        )
+
+
+def _collect_generators(module: Module) -> List[np.random.Generator]:
+    found: Dict[int, np.random.Generator] = {}
+    for sub in module.modules():
+        for value in vars(sub).values():
+            if isinstance(value, np.random.Generator):
+                found.setdefault(id(value), value)
+    return list(found.values())
+
+
+def _collect_outputs(value: Any, into: List[SymbolicTensor]) -> None:
+    if isinstance(value, SymbolicTensor):
+        into.append(value)
+    elif isinstance(value, (tuple, list)):
+        for item in value:
+            _collect_outputs(item, into)
+    elif isinstance(value, dict):
+        for item in value.values():
+            _collect_outputs(item, into)
+    elif isinstance(value, Tensor):
+        # A traced method returning a *real* tensor means the value never
+        # passed through a traced op; the grad audit treats it as opaque.
+        pass
+
+
+def verify(
+    module: Module,
+    contract: Optional[Contract] = None,
+    raise_on_error: bool = False,
+) -> Report:
+    """Symbolically verify a module against its ``@contract``.
+
+    Args:
+        module: any :class:`repro.nn.Module` whose class (or the explicit
+            ``contract`` argument) declares a graph contract.
+        contract: overrides the class-attached contract.
+        raise_on_error: raise the first
+            :class:`~repro.runtime.errors.GraphContractError` instead of
+            returning a failing report.
+
+    Returns:
+        A :class:`Report`; ``report.ok`` is True when every shape/dtype
+        contract holds and the gradient-flow audit is clean.
+    """
+    if contract is None:
+        contract = getattr(type(module), "__graph_contract__", None)
+    if contract is None:
+        raise ValueError(
+            f"{type(module).__name__} has no @contract declaration; "
+            "decorate the class or pass contract= explicitly"
+        )
+
+    generators = _collect_generators(module)
+    snapshots = [copy.deepcopy(rng.bit_generator.state) for rng in generators]
+
+    env = DimEnv()
+    bound = contract.bind_dims(module)
+    env.bind_all(bound)
+    session = TraceSession(module, env=env, audit=contract.audit)
+    report = Report(
+        module=type(module).__name__,
+        method=contract.method,
+        bound_dims=dict(bound),
+        n_params=len(session.param_names),
+    )
+
+    outputs: List[SymbolicTensor] = []
+    try:
+        with session.active():
+            try:
+                args, kwargs = session.build_probe_inputs(module, contract)
+                binding = dict(bound)
+                session.check_inputs(module, contract, args, kwargs, binding)
+                result = getattr(module, contract.method)(*args, **kwargs)
+                if contract.outputs is not None:
+                    session.check_value(
+                        result, contract.outputs, binding, "output", contract.method
+                    )
+                report.bound_dims = dict(binding)
+                _collect_outputs(result, outputs)
+            except GraphContractError as exc:
+                report.violations.append(exc)
+    finally:
+        for rng, state in zip(generators, snapshots):
+            rng.bit_generator.state = state
+
+    if contract.audit and not report.violations and outputs:
+        registered = set(session.param_names.values())
+        grad_reached: set = set()
+        data_reached: set = set()
+        for out in outputs:
+            grad_reached |= out.grad_roots
+            data_reached |= out.data_roots
+        report.dead_params = sorted(registered - data_reached)
+        for name in sorted((data_reached - grad_reached) & registered):
+            op, path = session.severed.get(name, ("detach/no_grad", report.module))
+            report.severed_params.append((name, op, path))
+        report.no_grad_output = bool(registered) and not grad_reached
+
+    if raise_on_error and not report.ok:
+        raise report.first_error()
+    return report

@@ -16,6 +16,7 @@ reporting.
 from __future__ import annotations
 
 import ast
+from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from .engine import FileContext, Violation
@@ -159,6 +160,7 @@ class NoSilentBroadExcept(Rule):
         "DeadlineExceeded",
         "CircuitOpenError",
         "GenerationFaultError",
+        "GraphContractError",
     }
 
     def _is_broad(self, handler: ast.ExceptHandler) -> bool:
@@ -413,6 +415,72 @@ class ServingSleepsUseBackoffSchedule(Rule):
                             "sleep callable defaulting to "
                             "repro.runtime.retry.REAL_SLEEP instead",
                         )
+
+
+@register
+class ExportedModulesNeedContracts(Rule):
+    """SHP001: exported ``nn.Module`` subclasses must declare a ``@contract``.
+
+    The symbolic graph verifier (:mod:`repro.analysis.graph`) can only
+    check what the contracts declare, so every model class in the exported
+    model packages — ``repro/core``, ``repro/baselines``, and the sequence
+    modules in ``repro/nn/lstm.py`` — must carry a ``@contract(...)``
+    decoration (or opt out explicitly with ``# repro: noqa[SHP001]`` on the
+    class line for pure-container modules).
+    """
+
+    id = "SHP001"
+    summary = (
+        "nn.Module subclass without a @contract graph declaration "
+        "(see repro.analysis.graph)"
+    )
+
+    #: Package scopes whose Module subclasses are exported model classes.
+    SCOPES = (("repro", "core"), ("repro", "baselines"))
+    #: Files in repro/nn that also count (the sequence-model layer).
+    NN_FILES = ("lstm.py",)
+
+    def _in_scope(self, ctx: FileContext) -> bool:
+        if any(ctx.in_package(*scope) for scope in self.SCOPES):
+            return True
+        return (
+            ctx.in_package("repro", "nn")
+            and Path(ctx.path).name in self.NN_FILES
+        )
+
+    @staticmethod
+    def _is_module_base(base: ast.AST) -> bool:
+        if isinstance(base, ast.Name) and base.id == "Module":
+            return True
+        return isinstance(base, ast.Attribute) and base.attr == "Module"
+
+    @staticmethod
+    def _has_contract(node: ast.ClassDef) -> bool:
+        for decorator in node.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            if isinstance(target, ast.Name) and target.id == "contract":
+                return True
+            if isinstance(target, ast.Attribute) and target.attr == "contract":
+                return True
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not self._in_scope(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not any(self._is_module_base(base) for base in node.bases):
+                continue
+            if not self._has_contract(node):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"model class {node.name} has no @contract declaration, "
+                    "so verify-graph cannot check its shapes or gradient "
+                    "flow; declare inputs/outputs/dims (see "
+                    "repro/analysis/README.md)",
+                )
 
 
 @register

@@ -26,6 +26,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from .. import nn
+from ..analysis.graph.spec import Spec, contract
 from ..nn.tensor import Tensor, concat
 from ..geo.trajectory import Trajectory
 from ..radio.simulator import DriveTestRecord
@@ -33,6 +34,23 @@ from ..world.region import Region
 from .base import BaselineModel, ContextEncodingMixin
 
 
+def _dg_probe(module: "_DGGenerator", env) -> Tuple[tuple, dict]:
+    """Probe (metadata, length) pair; length is a plain int argument."""
+    b = int(env.fresh("B"))
+    length = int(env.fresh("T"))
+    n_meta = module.lstm.input_size - module.n_noise
+    return ((np.zeros((b, n_meta)), length), {})
+
+
+@contract(
+    inputs={"metadata": Spec("B", "M", array=True)},
+    outputs=Spec("B", "T", "C"),
+    dims={
+        "M": lambda m: m.lstm.input_size - m.n_noise,
+        "C": "head.out_features",
+    },
+    build_inputs=_dg_probe,
+)
 class _DGGenerator(nn.Module):
     """Stage-2 LSTM generator: (static metadata, per-step noise) -> series."""
 
@@ -55,11 +73,20 @@ class _DGGenerator(nn.Module):
         return self.head(hidden)
 
 
+@contract(
+    inputs={
+        "series": Spec("B", "L", "C"),
+        "metadata": Spec("B", "M", array=True),
+    },
+    outputs=Spec("B", 1),
+    dims={"M": "n_meta", "C": lambda m: m.lstm.input_size - m.n_meta},
+)
 class _DGDiscriminator(nn.Module):
     """LSTM discriminator over (series, repeated metadata)."""
 
     def __init__(self, n_meta: int, n_channels: int, hidden: int, rng: np.random.Generator) -> None:
         super().__init__()
+        self.n_meta = n_meta
         self.lstm = nn.LSTM(n_meta + n_channels, hidden, rng)
         self.head = nn.Linear(hidden, 1, rng)
 

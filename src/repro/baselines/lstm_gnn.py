@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from .. import nn
+from ..analysis.graph.spec import Spec, contract
 from ..nn.tensor import Tensor
 from ..context.normalize import N_CELL_FEATURES
 from ..geo.trajectory import Trajectory
@@ -23,6 +24,14 @@ from ..world.region import Region
 from .base import BaselineModel, ContextEncodingMixin
 
 
+@contract(
+    inputs={
+        "cell_x": Spec("B", "N", "L", "F", array=True),
+        "cell_mask": Spec("B", "N", array=True),
+    },
+    outputs=Spec("B", "L", "C"),
+    dims={"F": "node_lstm.input_size", "C": "head.out_features"},
+)
 class _LstmGnnNet(nn.Module):
     """Node LSTM (shared across cells) -> mean pool -> LSTM -> linear head."""
 

@@ -252,9 +252,78 @@ def cmd_lint(args) -> int:
     argv: List[str] = list(args.paths)
     if args.select:
         argv += ["--select", args.select]
+    if args.ignore:
+        argv += ["--ignore", args.ignore]
+    if args.format != "text":
+        argv += ["--format", args.format]
     if args.list_rules:
         argv.append("--list-rules")
     return lint_main(argv)
+
+
+def cmd_verify_graph(args) -> int:
+    import json
+
+    from .analysis.graph import verify
+    from .analysis.graph.registry import seeded_defects, shipped_entries
+
+    entries = shipped_entries()
+    if args.list:
+        for entry in entries:
+            print(f"{entry.name:28s} {entry.description}")
+        return 0
+    if args.models:
+        known = {entry.name for entry in entries}
+        unknown = [name for name in args.models if name not in known]
+        if unknown:
+            print(f"unknown model(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        entries = [entry for entry in entries if entry.name in set(args.models)]
+
+    failures = 0
+    results = []
+    for entry in entries:
+        report = verify(entry.build(args.seed))
+        results.append(
+            {
+                "name": entry.name,
+                "module": report.module,
+                "method": report.method,
+                "ok": report.ok,
+                "violations": [str(v) for v in report.violations],
+                "dead_params": report.dead_params,
+                "severed_params": [list(s) for s in report.severed_params],
+                "no_grad_output": report.no_grad_output,
+                "bound_dims": report.bound_dims,
+            }
+        )
+        if args.format == "text":
+            print(report.format())
+        if not report.ok:
+            failures += 1
+
+    if args.self_test:
+        # Prove the verifier still catches the seeded defect classes: a
+        # clean pass on a broken module is itself a gate failure.
+        for defect in seeded_defects():
+            report = verify(defect.build(args.seed))
+            text = report.format()
+            detected = not report.ok and defect.expect in text
+            results.append(
+                {"name": f"defect:{defect.name}", "detected": detected}
+            )
+            if args.format == "text":
+                if detected:
+                    print(f"ok    defect {defect.name} detected")
+                else:
+                    print(f"FAIL  defect {defect.name} NOT detected:")
+                    print(text)
+            if not detected:
+                failures += 1
+
+    if args.format == "json":
+        print(json.dumps(results, indent=2))
+    return 1 if failures else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -380,9 +449,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule IDs to run (default: all)",
     )
     p_lint.add_argument(
+        "--ignore", default=None, metavar="RULES",
+        help="comma-separated rule IDs to skip (applied after --select)",
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="violation output format (default: text)",
+    )
+    p_lint.add_argument(
         "--list-rules", action="store_true", help="print the rule table and exit"
     )
     p_lint.set_defaults(func=cmd_lint)
+
+    p_verify = sub.add_parser(
+        "verify-graph",
+        help="symbolically verify model graphs (shape/dtype contracts + "
+             "gradient-flow audit)",
+    )
+    p_verify.add_argument(
+        "models", nargs="*", metavar="MODEL",
+        help="registry names to verify (default: every shipped model)",
+    )
+    p_verify.add_argument("--seed", type=int, default=0, help="builder seed")
+    p_verify.add_argument(
+        "--self-test", action="store_true",
+        help="also verify the seeded-defect fixtures are still detected",
+    )
+    p_verify.add_argument(
+        "--list", action="store_true", help="list registry model names and exit"
+    )
+    p_verify.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report output format (default: text)",
+    )
+    p_verify.set_defaults(func=cmd_verify_graph)
 
     return parser
 

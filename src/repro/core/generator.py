@@ -7,6 +7,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from .. import nn
+from ..analysis.graph.spec import ANY, Spec, contract
 from ..nn.tensor import Tensor, concat
 from ..context.normalize import N_CELL_FEATURES
 from .config import GenDTConfig
@@ -14,6 +15,34 @@ from .features import ModelBatch, recent_values_matrix
 from .networks import AggregationNetwork, GnnNodeNetwork, ResGen
 
 
+def _probe_batch(module: "GenDTGenerator", env) -> Tuple[tuple, dict]:
+    """Symbolic probe ModelBatch for graph verification (fresh B, N_c, L)."""
+    b = int(env.fresh("B"))
+    n_c = int(env.fresh("N_c"))
+    length = int(env.fresh("L"))
+    batch = ModelBatch(
+        cell_x=np.zeros((b, n_c, length, N_CELL_FEATURES)),
+        cell_mask=np.ones((b, n_c)),
+        env=np.zeros((b, length, module.n_env)),
+        target=np.zeros((b, length, module.n_channels)),
+        scenarios=["probe"] * b,
+    )
+    return (batch,), {}
+
+
+@contract(
+    method="forward_teacher_forced",
+    inputs={"batch": ANY},
+    outputs={
+        "h_avg": Spec("B", "L", "H"),
+        "base": Spec("B", "L", "N_ch"),
+        "output": Spec("B", "L", "N_ch"),
+        "mu": Spec("B", "L", "N_ch"),
+        "log_sigma": Spec("B", "L", "N_ch"),
+    },
+    dims={"H": "config.hidden_size", "N_ch": "n_channels", "N_env": "n_env"},
+    build_inputs=_probe_batch,
+)
 class GenDTGenerator(nn.Module):
     """Conditional neural sampler ``p_theta(x | c)``.
 
@@ -43,6 +72,7 @@ class GenDTGenerator(nn.Module):
         config.validate()
         self.config = config
         self.n_channels = n_channels
+        self.n_env = n_env
         self.node_net = GnnNodeNetwork(N_CELL_FEATURES, config, rng)
         self.agg_net = AggregationNetwork(n_channels, config, rng)
         if config.use_resgen:

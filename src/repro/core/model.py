@@ -98,6 +98,7 @@ class GenDT:
         keep_last: int = 3,
         resume_from: Optional[Union[str, Path]] = None,
         detect_anomaly: bool = False,
+        verify_graph: bool = True,
     ) -> TrainingHistory:
         """Fit the generator (and refit normalizers) on measurement records.
 
@@ -133,6 +134,11 @@ class GenDT:
             rng=self.rng,
         )
         self.trainer = GenDTTrainer(self.generator, self.config, self.rng)
+        if verify_graph:
+            # One-shot symbolic shape/dtype + gradient-flow check before any
+            # training compute; restores all RNG streams, so training is
+            # bit-identical with verification on or off.
+            self._verify_generator()
         assembler = WindowAssembler(
             self.cell_transform,
             self.env_normalizer,
@@ -340,7 +346,15 @@ class GenDT:
         }
         write_checkpoint(path, arrays, meta)
 
-    def load(self, path: Union[str, Path], n_env: int = 28) -> None:
+    def _verify_generator(self) -> None:
+        """Symbolically verify the generator graph (raises on violation)."""
+        from ..analysis.graph import verify
+
+        verify(self.generator, raise_on_error=True)
+
+    def load(
+        self, path: Union[str, Path], n_env: int = 28, verify_graph: bool = True
+    ) -> None:
         """Restore a model saved with :meth:`save` (same config required).
 
         Accepts both the checksummed checkpoint container and (for backward
@@ -411,4 +425,8 @@ class GenDT:
             {k: np.asarray(v) for k, v in meta["target_normalizer"].items()}
         )
         self.trainer = GenDTTrainer(self.generator, self.config, self.rng)
+        if verify_graph:
+            # Catches weight/config mismatches (e.g. a changed AR window)
+            # that pass load_state_dict but would mis-broadcast at runtime.
+            self._verify_generator()
         self._fitted = True

@@ -25,11 +25,20 @@ from typing import Optional, Tuple
 import numpy as np
 
 from .. import nn
+from ..analysis.graph.spec import Spec, contract
 from ..nn.tensor import Tensor, concat
 from .config import GenDTConfig
 from .stochastic_lstm import StochasticLSTM
 
 
+@contract(
+    inputs={"cell_inputs": Spec("R", "L", "F")},
+    outputs=Spec("R", "L", "H"),
+    dims={
+        "F": lambda m: m.lstm.cell.input_size - m.n_noise,
+        "H": "lstm.hidden_size",
+    },
+)
 class GnnNodeNetwork(nn.Module):
     """``G_n``: per-cell context series -> per-cell hidden series.
 
@@ -58,6 +67,11 @@ class GnnNodeNetwork(nn.Module):
         return hidden
 
 
+@contract(
+    inputs={"h_avg": Spec("B", "L", "H")},
+    outputs=Spec("B", "L", "N_ch"),
+    dims={"H": "head.in_features", "N_ch": "head.out_features"},
+)
 class AggregationNetwork(nn.Module):
     """``G_a``: graph-level hidden series ``h_avg`` -> base KPI series."""
 
@@ -78,6 +92,21 @@ class AggregationNetwork(nn.Module):
         return self.head(hidden)
 
 
+@contract(
+    method="sample",
+    inputs={
+        "env": Spec("...", "N_env"),
+        "recent": Spec("...", "M_win"),
+    },
+    outputs=(Spec("...", "N_ch"), Spec("...", "N_ch"), Spec("...", "N_ch")),
+    dims={
+        "N_env": "n_env",
+        "N_ch": "n_channels",
+        # The AR window m and channel count fix the recent-residuals width;
+        # a region config whose m disagrees with the trained MLP fails here.
+        "M_win": lambda m: m.ar_window * m.n_channels,
+    },
+)
 class ResGen(nn.Module):
     """``G_r``: environment context + noise + recent residuals -> Gaussian residual.
 
@@ -106,6 +135,7 @@ class ResGen(nn.Module):
         rng: np.random.Generator,
     ) -> None:
         super().__init__()
+        self.n_env = n_env
         self.n_channels = n_channels
         self.n_noise = config.n_noise_resgen
         self.ar_window = config.resgen_ar_window
@@ -155,11 +185,20 @@ class ResGen(nn.Module):
         return residual, mu, log_sigma
 
 
+@contract(
+    inputs={
+        "series": Spec("B", "L", "N_ch"),
+        "h_avg": Spec("B", "L", "H"),
+    },
+    outputs=Spec("B", 1),
+    dims={"N_ch": "n_channels", "H": "head.in_features"},
+)
 class Discriminator(nn.Module):
     """``R``: (KPI series, h_avg) -> realness logit, via a 1-layer LSTM."""
 
     def __init__(self, n_channels: int, config: GenDTConfig, rng: np.random.Generator) -> None:
         super().__init__()
+        self.n_channels = n_channels
         self.lstm = nn.LSTM(n_channels + config.hidden_size, config.hidden_size, rng)
         self.head = nn.Linear(config.hidden_size, 1, rng)
 

@@ -21,6 +21,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from .. import nn
+from ..analysis.graph.spec import Spec, contract
 from ..nn.tensor import Tensor, stack
 
 
@@ -44,6 +45,11 @@ def _inject_noise(state: Tensor, intensity: float, rng: np.random.Generator) -> 
     return noisy * scale
 
 
+@contract(
+    inputs={"x": Spec("B", "T", "I")},
+    outputs=(Spec("B", "T", "H"), (Spec("B", "H"), Spec("B", "H"))),
+    dims={"I": "cell.input_size", "H": "hidden_size"},
+)
 class StochasticLSTM(nn.Module):
     """LSTM whose recurrent state is perturbed per step (GenDT SRNN layers).
 

@@ -6,11 +6,17 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..analysis.graph.spec import Spec, contract
 from . import init
 from .module import Module, Parameter
 from .tensor import Tensor
 
 
+@contract(
+    inputs={"x": Spec("...", "Fin")},
+    outputs=Spec("...", "Fout"),
+    dims={"Fin": "in_features", "Fout": "out_features"},
+)
 class Linear(Module):
     """Affine layer ``y = x @ W.T + b``.
 
@@ -111,6 +117,11 @@ class Sequential(Module):
         return len(self._layers)
 
 
+@contract(
+    inputs={"x": Spec("...", "Fin")},
+    outputs=Spec("...", "Fout"),
+    dims={"Fin": "in_features", "Fout": "out_features"},
+)
 class MLP(Module):
     """Fully-connected stack with leaky-ReLU activations.
 
@@ -129,6 +140,8 @@ class MLP(Module):
         negative_slope: float = 0.2,
     ) -> None:
         super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
         layers: List[Module] = []
         prev = in_features
         for width in hidden:

@@ -12,11 +12,20 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..analysis.graph.spec import ANY, Spec, contract
 from . import init
 from .module import Module, Parameter
 from .tensor import Tensor, concat, stack
 
 
+@contract(
+    inputs={
+        "x": Spec("B", "I"),
+        "state": (Spec("B", "H"), Spec("B", "H")),
+    },
+    outputs=(Spec("B", "H"), Spec("B", "H")),
+    dims={"I": "input_size", "H": "hidden_size"},
+)
 class LSTMCell(Module):
     """Single LSTM cell with fused gate weights.
 
@@ -59,6 +68,11 @@ class LSTMCell(Module):
         return Tensor(zeros), Tensor(zeros.copy())
 
 
+@contract(
+    inputs={"x": Spec("B", "T", "I")},
+    outputs=(Spec("B", "T", "H"), ANY),
+    dims={"I": "input_size", "H": "hidden_size"},
+)
 class LSTM(Module):
     """Unidirectional (optionally stacked) LSTM over a full sequence.
 
@@ -105,6 +119,11 @@ class LSTM(Module):
         return stack(outputs, axis=1), state
 
 
+@contract(
+    inputs={"x": Spec("B", "T", "I")},
+    outputs=Spec("B", "T", "O"),
+    dims={"I": "lstm.input_size", "O": "head.out_features"},
+)
 class LSTMRegressor(Module):
     """LSTM followed by a per-step linear head: ``[B,T,in] -> [B,T,out]``."""
 

@@ -17,6 +17,21 @@ from .anomaly import NumericalAnomalyError, annotate_module
 from .tensor import Tensor
 
 
+# Module-call hook for symbolic tracing (see repro.analysis.graph.trace).
+# While installed, every Module.__call__ routes through the hook, which
+# pushes the dotted module path, checks the module's @contract, and invokes
+# forward() itself.  ``None`` outside a verification trace.
+_call_hook = None
+
+
+def _set_call_hook(hook):
+    """Install (or clear, with None) the call hook; returns the previous one."""
+    global _call_hook
+    previous = _call_hook
+    _call_hook = hook
+    return previous
+
+
 class Parameter(Tensor):
     """A trainable tensor; always created with ``requires_grad=True``."""
 
@@ -112,6 +127,8 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
+        if _call_hook is not None:
+            return _call_hook.call_module(self, args, kwargs)
         if not _anomaly.enabled:
             return self.forward(*args, **kwargs)
         try:

@@ -121,6 +121,33 @@ class GenerationFaultError(GenDTRuntimeError):
         self.kind = kind
 
 
+class GraphContractError(GenDTRuntimeError):
+    """A model graph failed symbolic verification (see repro.analysis.graph).
+
+    Raised at *definition/load time* — before any real compute — when a
+    traced module violates its ``@contract`` shape/dtype declaration, an op
+    performs an accidental broadcast, or the gradient-flow audit finds dead
+    or severed parameters.  ``module_path`` is the dotted location inside
+    the traced module tree (e.g. ``GenDTGenerator.resgen.mlp``), ``op`` the
+    offending tensor operation or contract role, and ``expected``/``actual``
+    the rendered symbolic shapes.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        module_path: Optional[str] = None,
+        op: Optional[str] = None,
+        expected: Optional[str] = None,
+        actual: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.module_path = module_path
+        self.op = op
+        self.expected = expected
+        self.actual = actual
+
+
 class NumericalAnomalyError(GenDTRuntimeError):
     """A NaN/Inf surfaced on the autodiff tape under ``detect_anomaly``.
 

@@ -1,0 +1,105 @@
+"""Property tests for ``repro.nn.tensor._unbroadcast``.
+
+``_unbroadcast(grad, shape)`` must be the exact adjoint of numpy
+broadcasting: for any x of ``shape`` broadcast to ``grad.shape``,
+
+    <_unbroadcast(grad, shape), x> == <grad, broadcast_to(x, grad.shape)>
+
+Hypothesis sweeps the full space of broadcastable shape pairs — leading rank
+extension, size-1 expansion (including expansion *to* size 0), 0-d scalars,
+and size-0 axes — the combinations a hand-written example table always
+misses.
+"""
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.nn.tensor import Tensor, _unbroadcast  # noqa: E402
+
+
+@st.composite
+def broadcast_pairs(draw):
+    """(shape, out_shape) with out_shape a valid broadcast of shape."""
+    rank = draw(st.integers(min_value=0, max_value=4))
+    shape = tuple(
+        draw(st.lists(st.integers(0, 4), min_size=rank, max_size=rank))
+    )
+    n_lead = draw(st.integers(min_value=0, max_value=2))
+    lead = tuple(
+        draw(st.lists(st.integers(0, 3), min_size=n_lead, max_size=n_lead))
+    )
+    out = list(lead) + list(shape)
+    for i, size in enumerate(shape):
+        if size == 1 and draw(st.booleans()):
+            # Expand the unit axis — including to 0 (empty broadcast).
+            out[n_lead + i] = draw(st.integers(0, 4).filter(lambda n: n != 1))
+    return shape, tuple(out)
+
+
+def _probe_arrays(shape, out_shape):
+    """Deterministic non-uniform x/grad for a given shape pair."""
+    x = np.arange(int(np.prod(shape, dtype=int)), dtype=np.float64)
+    x = x.reshape(shape) * 0.37 - 1.25
+    grad = np.arange(int(np.prod(out_shape, dtype=int)), dtype=np.float64)
+    grad = grad.reshape(out_shape) * 0.11 + 0.5
+    return x, grad
+
+
+@given(pair=broadcast_pairs())
+@settings(max_examples=300, deadline=None)
+def test_unbroadcast_is_adjoint_of_broadcasting(pair):
+    shape, out_shape = pair
+    x, grad = _probe_arrays(shape, out_shape)
+    reduced = _unbroadcast(grad, shape)
+    assert reduced.shape == shape
+    lhs = np.vdot(reduced, x)
+    rhs = np.vdot(grad, np.broadcast_to(x, out_shape))
+    np.testing.assert_allclose(lhs, rhs, rtol=1e-10, atol=1e-10)
+
+
+@given(pair=broadcast_pairs())
+@settings(max_examples=200, deadline=None)
+def test_unbroadcast_of_replicated_input_counts_copies(pair):
+    """Broadcasting replicates values; the adjoint sums the copies back."""
+    shape, out_shape = pair
+    x, _ = _probe_arrays(shape, out_shape)
+    replicated = np.ascontiguousarray(np.broadcast_to(x, out_shape))
+    reduced = _unbroadcast(replicated, shape)
+    n_x = int(np.prod(shape, dtype=int))
+    n_out = int(np.prod(out_shape, dtype=int))
+    if n_x > 0 and n_out > 0:
+        copies = n_out // n_x
+        np.testing.assert_allclose(reduced, x * copies, rtol=1e-12)
+    else:
+        # Degenerate (size-0) pairs: only the shape is meaningful.
+        assert reduced.shape == shape
+
+
+def test_unbroadcast_to_scalar_sums_everything():
+    grad = np.arange(24, dtype=np.float64).reshape(2, 3, 4)
+    reduced = _unbroadcast(grad, ())
+    assert reduced.shape == ()
+    assert reduced == grad.sum()
+
+
+def test_unbroadcast_size_zero_axis_keeps_unit_axis_zero():
+    # grad with a 0-length axis broadcast from a size-1 axis: summing the
+    # empty axis must yield zeros, not an error.
+    grad = np.zeros((3, 0, 5))
+    reduced = _unbroadcast(grad, (3, 1, 5))
+    assert reduced.shape == (3, 1, 5)
+    np.testing.assert_array_equal(reduced, np.zeros((3, 1, 5)))
+
+
+def test_backward_through_real_broadcast_matches_unbroadcast():
+    # End-to-end: an op that broadcasts must hand each operand a gradient
+    # of its own shape.
+    a = Tensor(np.arange(6, dtype=np.float64).reshape(2, 3), requires_grad=True)
+    b = Tensor(np.arange(3, dtype=np.float64).reshape(1, 3), requires_grad=True)
+    (a * b).sum().backward()
+    assert a.grad.shape == (2, 3)
+    assert b.grad.shape == (1, 3)
+    np.testing.assert_allclose(b.grad, a.numpy().sum(axis=0, keepdims=True))
